@@ -1,0 +1,77 @@
+//! **Ablation** — path-length scaling.
+//!
+//! The paper motivates entanglement distillation (§4.3) by noting that
+//! the fidelity loss of entanglement swapping "ultimately limits the
+//! achievable path length". This sweep quantifies that limit in our
+//! model: per-pair latency, the link-fidelity budget the routing
+//! controller demands, and the point where a fixed end-to-end target
+//! becomes infeasible.
+//!
+//! Run: `cargo bench --bench ablation_chain_length` (knob: `QNP_RUNS`).
+
+use qn_bench::{keep_request, runs};
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_netsim::build::NetworkBuilder;
+use qn_routing::{chain, Controller, CutoffPolicy};
+use qn_sim::{NodeId, SimDuration, SimTime};
+
+fn main() {
+    let n_runs = runs(3);
+    let fidelity = 0.8;
+    println!("# Ablation — chain-length scaling at end-to-end F = {fidelity} (runs={n_runs})");
+    println!("# nodes   links   link_F_budget   per_pair_latency_s   mean_fidelity");
+
+    for n_nodes in [2usize, 3, 4, 5, 6] {
+        let topology = chain(n_nodes, HardwareParams::simulation(), FibreParams::lab_2m());
+        let controller = Controller::new(&topology, CutoffPolicy::short());
+        let tail = NodeId(n_nodes as u32 - 1);
+        let plan = match controller.plan(NodeId(0), tail, fidelity) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{n_nodes:7}   {:5}   infeasible: {e}", n_nodes - 1);
+                continue;
+            }
+        };
+        let link_budget = plan.link_fidelity;
+        let mut latency = 0.0;
+        let mut latency_runs = 0usize;
+        let mut fid = 0.0;
+        let mut fid_runs = 0usize;
+        let n_pairs = 8u64;
+        for seed in 0..n_runs {
+            let topology = chain(n_nodes, HardwareParams::simulation(), FibreParams::lab_2m());
+            let mut sim = NetworkBuilder::new(topology).seed(7000 + seed).build();
+            let vc = sim.install_plan(plan.clone());
+            sim.submit_at(
+                SimTime::ZERO,
+                vc,
+                keep_request(1, NodeId(0), tail, fidelity, n_pairs),
+            );
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(300));
+            let app = sim.app();
+            if let Some(l) = app.request_latency(vc, qn_net::RequestId(1)) {
+                latency += l.as_secs_f64() / n_pairs as f64;
+                latency_runs += 1;
+            }
+            if let Some(f) = app.mean_fidelity(vc, NodeId(0)) {
+                fid += f;
+                fid_runs += 1;
+            }
+        }
+        let latency = if latency_runs > 0 {
+            latency / latency_runs as f64
+        } else {
+            f64::NAN
+        };
+        let fid = if fid_runs > 0 {
+            fid / fid_runs as f64
+        } else {
+            f64::NAN
+        };
+        let n_links = n_nodes - 1;
+        println!("{n_nodes:7}   {n_links:5}   {link_budget:13.4}   {latency:18.3}   {fid:13.4}");
+    }
+    println!("#\n# expected shape: the link budget climbs towards the hardware's");
+    println!("# maximum as the chain grows; per-pair latency grows super-linearly;");
+    println!("# past the feasibility wall only distillation (paper §4.3) helps.");
+}

@@ -1,0 +1,59 @@
+//! **Figure 5** — CDF of the time to generate a link-pair of fidelity
+//! 0.95 over a 2 m fibre with the simulation hardware parameters.
+//!
+//! Paper anchor: "on average we have to wait 10 ms and … 95 % of
+//! link-pairs are generated within 30 ms."
+//!
+//! Run: `cargo bench --bench fig5_link_cdf` (knob: `QNP_RUNS` samples,
+//! default 5000).
+
+use qn_bench::env_u64;
+use qn_hardware::heralding::LinkPhysics;
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_sim::{Samples, SimRng};
+
+fn main() {
+    let samples_n = env_u64("QNP_RUNS", 5_000);
+    let physics = LinkPhysics::new(HardwareParams::simulation(), FibreParams::lab_2m());
+    let fidelity = 0.95;
+    let alpha = physics
+        .alpha_for_fidelity(fidelity)
+        .expect("0.95 attainable in the lab configuration");
+    let p = physics.success_prob(alpha);
+    let cycle = physics.cycle_time();
+
+    println!("# Figure 5 — link-pair generation time CDF");
+    println!("# fidelity {fidelity}, 2 m fibre, simulation parameters");
+    println!(
+        "# alpha = {alpha:.5}, p_succ/attempt = {p:.3e}, cycle = {:.3} us",
+        cycle.as_micros_f64()
+    );
+
+    let mut rng = SimRng::substream(1, "fig5");
+    let mut samples = Samples::new();
+    for _ in 0..samples_n {
+        let attempts = rng.geometric(p);
+        samples.push(cycle.as_millis_f64() * attempts as f64);
+    }
+
+    println!("#\n# time_ms   fraction_generated");
+    for (t, q) in samples.cdf_points(40) {
+        println!("{t:9.3}   {q:.4}");
+    }
+    let mean = samples.mean().unwrap();
+    let p95 = samples.percentile(0.95).unwrap();
+    let p50 = samples.median().unwrap();
+    println!("#\n# mean   = {mean:7.2} ms   (paper: ≈10 ms)");
+    println!("# median = {p50:7.2} ms");
+    println!("# p95    = {p95:7.2} ms   (paper: ≈30 ms)");
+
+    assert!(
+        (5.0..20.0).contains(&mean),
+        "mean drifted outside the Fig 5 anchor window"
+    );
+    assert!(
+        (15.0..60.0).contains(&p95),
+        "p95 drifted outside the Fig 5 anchor window"
+    );
+    println!("# shape check: PASS (geometric CDF, mean and p95 in anchor windows)");
+}

@@ -1,0 +1,76 @@
+//! **Figure 9** — average latency vs throughput of the A0-B0 circuit as
+//! the rate of 3-pair requests increases, in an empty network and in a
+//! congested one (long-running A1-B1 flow competing for the bottleneck).
+//!
+//! Paper shapes to reproduce:
+//! * latency is flat until the circuit saturates, then blows up;
+//! * the congested circuit saturates at **more than half** the empty
+//!   network's rate (the bottleneck slows every circuit, so the other
+//!   links more often have a pair ready when the bottleneck delivers).
+//!
+//! Run: `cargo bench --bench fig9_latency_throughput`
+//! (knob: `QNP_RUNS`, default 3).
+
+use qn_bench::{fig9_scenario, runs};
+use qn_sim::SimDuration;
+
+fn main() {
+    let n_runs = runs(3);
+    println!("# Figure 9 — latency vs throughput (runs={n_runs})");
+    // Request intervals from sparse to past saturation.
+    let intervals_ms: [u64; 8] = [2000, 1000, 500, 300, 200, 150, 100, 70];
+
+    let mut saturation = [0.0f64; 2];
+    for (case_idx, congested) in [false, true].into_iter().enumerate() {
+        println!(
+            "#\n# case: {}",
+            if congested {
+                "congested (A1-B1 busy)"
+            } else {
+                "empty network"
+            }
+        );
+        println!(
+            "# interval_ms   throughput_pairs_per_s   mean_latency_s   p5_s   p95_s   requests"
+        );
+        for interval in intervals_ms {
+            let mut thr = 0.0;
+            let mut lat = 0.0;
+            let mut p5 = 0.0;
+            let mut p95 = 0.0;
+            let mut measured = 0usize;
+            let mut lat_count = 0usize;
+            for seed in 0..n_runs {
+                let p = fig9_scenario(2000 + seed, congested, SimDuration::from_millis(interval));
+                thr += p.throughput;
+                if p.mean_latency.is_finite() {
+                    lat += p.mean_latency;
+                    p5 += p.p5;
+                    p95 += p.p95;
+                    lat_count += 1;
+                }
+                measured += p.measured;
+            }
+            thr /= n_runs as f64;
+            let (lat, p5, p95) = if lat_count > 0 {
+                let k = lat_count as f64;
+                (lat / k, p5 / k, p95 / k)
+            } else {
+                (f64::NAN, f64::NAN, f64::NAN)
+            };
+            println!("{interval:11}   {thr:22.2}   {lat:14.3}   {p5:5.3}  {p95:6.3}   {measured}");
+            saturation[case_idx] = saturation[case_idx].max(thr);
+        }
+    }
+
+    println!("#\n# shape checks");
+    let ratio = saturation[1] / saturation[0];
+    println!(
+        "# saturation: empty {:.2} pairs/s, congested {:.2} pairs/s, ratio {ratio:.2}",
+        saturation[0], saturation[1]
+    );
+    println!(
+        "# congested saturates at more than half the empty rate: {}",
+        if ratio > 0.5 { "PASS" } else { "WARN" }
+    );
+}

@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks of the core data structures: the event
+//! queue, the density-matrix operations behind every entanglement swap,
+//! the heralded-state construction, the link scheduler, and the Bell
+//! tracking algebra.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qn_hardware::device::QubitId;
+use qn_hardware::heralding::LinkPhysics;
+use qn_hardware::pairs::{PairStore, SwapNoise};
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_link::{LinkLabel, TimeShareScheduler};
+use qn_quantum::bell::BellState;
+use qn_quantum::measure::bell_measure_ideal;
+use qn_sim::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                for i in 0..1000u64 {
+                    q.push(SimTime::from_ps(i * 37 % 500), i);
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_density_matrix(c: &mut Criterion) {
+    c.bench_function("ideal_bell_measurement_4q", |b| {
+        let joint = BellState::PHI_PLUS
+            .density()
+            .tensor(&BellState::PSI_PLUS.density());
+        b.iter(|| bell_measure_ideal(&joint, 1, 2, 0.3));
+    });
+
+    c.bench_function("noisy_swap_full_pipeline", |b| {
+        let params = HardwareParams::simulation();
+        let noise = SwapNoise::from_params(&params);
+        b.iter_batched(
+            || {
+                let mut store = PairStore::new();
+                let mut mk = |na: u32, nb: u32, qa: u32, qb: u32| {
+                    store.create(
+                        SimTime::ZERO,
+                        BellState::PSI_PLUS.density(),
+                        BellState::PSI_PLUS,
+                        [
+                            (NodeId(na), QubitId(qa), 3600.0, 60.0),
+                            (NodeId(nb), QubitId(qb), 3600.0, 60.0),
+                        ],
+                    )
+                };
+                let a = mk(0, 1, 0, 0);
+                let b_ = mk(1, 2, 1, 0);
+                (store, a, b_, SimRng::from_seed(7))
+            },
+            |(mut store, a, b_, mut rng)| {
+                store.swap(
+                    a,
+                    b_,
+                    NodeId(1),
+                    SimTime::ZERO + SimDuration::from_micros(500),
+                    &noise,
+                    &mut rng,
+                )
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("heralded_state_construction", |b| {
+        let physics = LinkPhysics::new(HardwareParams::simulation(), FibreParams::lab_2m());
+        b.iter(|| physics.heralded_state(0.05, BellState::PSI_PLUS));
+    });
+}
+
+fn bench_link_scheduler(c: &mut Criterion) {
+    c.bench_function("time_share_scheduler_4_labels", |b| {
+        b.iter_batched(
+            || {
+                let mut s = TimeShareScheduler::new();
+                for i in 0..4 {
+                    s.add(LinkLabel(i), 1.0 + i as f64);
+                }
+                s
+            },
+            |mut s| {
+                for _ in 0..100 {
+                    let l = s.next().unwrap();
+                    s.charge(l, SimDuration::from_micros(10));
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_bell_algebra(c: &mut Criterion) {
+    c.bench_function("bell_combine_chain_64", |b| {
+        let states: Vec<BellState> = (0..64).map(|i| BellState::from_index(i % 4)).collect();
+        b.iter(|| {
+            let mut acc = BellState::PHI_PLUS;
+            for (i, s) in states.iter().enumerate() {
+                acc = acc.combine(*s, BellState::from_index((i * 7) % 4));
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_density_matrix,
+    bench_link_scheduler,
+    bench_bell_algebra
+);
+criterion_main!(benches);

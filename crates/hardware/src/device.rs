@@ -1,0 +1,237 @@
+//! Quantum device memory management.
+//!
+//! The paper's Fig 4 shows a *quantum memory management unit* arbitrating
+//! qubit slots. [`QDevice`] is that component: it owns the slot inventory
+//! of one node and hands out / reclaims qubits. Slot scarcity is a real
+//! protocol force — the two-communication-qubits-per-link limit is what
+//! produces the Fig 8c "quantum congestion collapse".
+//!
+//! Two inventory shapes cover the paper's evaluations:
+//!
+//! * [`QDevice::per_link`] — the main-simulation simplification
+//!   (Appendix B): every qubit behaves as a communication qubit, two are
+//!   dedicated to each attached link and not shared between links.
+//! * [`QDevice::near_term`] — Fig 11 hardware: a single electron
+//!   (communication) qubit shared by all links plus a few carbon storage
+//!   qubits.
+
+use crate::params::HardwareParams;
+use qn_sim::{LinkId, NodeId};
+use std::fmt;
+
+/// A memory slot on a device.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct QubitId(pub u32);
+
+impl fmt::Display for QubitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// The species of a memory slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QubitKind {
+    /// Electron spin: can participate in entanglement generation.
+    Electron,
+    /// Carbon nuclear spin: storage only.
+    Carbon,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    kind: QubitKind,
+    /// For per-link inventories: the link this slot is dedicated to.
+    link: Option<LinkId>,
+    free: bool,
+}
+
+/// The qubit inventory of one node.
+#[derive(Clone, Debug)]
+pub struct QDevice {
+    node: NodeId,
+    slots: Vec<Slot>,
+    params: HardwareParams,
+}
+
+impl QDevice {
+    /// Main-simulation inventory: `per_link` communication qubits dedicated
+    /// to each attached link (the paper uses two).
+    pub fn per_link(
+        node: NodeId,
+        links: &[LinkId],
+        per_link: usize,
+        params: HardwareParams,
+    ) -> Self {
+        let mut slots = Vec::new();
+        for link in links {
+            for _ in 0..per_link {
+                slots.push(Slot {
+                    kind: QubitKind::Electron,
+                    link: Some(*link),
+                    free: true,
+                });
+            }
+        }
+        QDevice {
+            node,
+            slots,
+            params,
+        }
+    }
+
+    /// Near-term inventory: one shared electron plus `carbons` storage
+    /// qubits.
+    pub fn near_term(node: NodeId, carbons: usize, params: HardwareParams) -> Self {
+        let mut slots = vec![Slot {
+            kind: QubitKind::Electron,
+            link: None,
+            free: true,
+        }];
+        for _ in 0..carbons {
+            slots.push(Slot {
+                kind: QubitKind::Carbon,
+                link: None,
+                free: true,
+            });
+        }
+        QDevice {
+            node,
+            slots,
+            params,
+        }
+    }
+
+    /// The node this device belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The hardware parameter set of this device.
+    pub fn params(&self) -> &HardwareParams {
+        &self.params
+    }
+
+    /// T1/T2 of a slot, in seconds.
+    pub fn coherence_times(&self, qubit: QubitId) -> (f64, f64) {
+        match self.slots[qubit.0 as usize].kind {
+            QubitKind::Electron => (self.params.electron_t1, self.params.electron_t2),
+            QubitKind::Carbon => (
+                self.params.carbon_t1.unwrap_or(self.params.electron_t1),
+                self.params.carbon_t2.unwrap_or(self.params.electron_t2),
+            ),
+        }
+    }
+
+    /// Species of a slot.
+    pub fn kind(&self, qubit: QubitId) -> QubitKind {
+        self.slots[qubit.0 as usize].kind
+    }
+
+    /// Allocate a communication qubit usable on `link`: a slot dedicated
+    /// to that link (per-link inventory) or the shared electron (near-term
+    /// inventory).
+    pub fn alloc_comm(&mut self, link: LinkId) -> Option<QubitId> {
+        let idx = self.slots.iter().position(|s| {
+            s.free && s.kind == QubitKind::Electron && (s.link.is_none() || s.link == Some(link))
+        })?;
+        self.slots[idx].free = false;
+        Some(QubitId(idx as u32))
+    }
+
+    /// Allocate a storage (carbon) qubit.
+    pub fn alloc_storage(&mut self) -> Option<QubitId> {
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.free && s.kind == QubitKind::Carbon)?;
+        self.slots[idx].free = false;
+        Some(QubitId(idx as u32))
+    }
+
+    /// Return a qubit to the free pool.
+    pub fn free(&mut self, qubit: QubitId) {
+        let slot = &mut self.slots[qubit.0 as usize];
+        debug_assert!(!slot.free, "double free of {qubit}");
+        slot.free = true;
+    }
+
+    /// Number of free communication qubits usable on `link`.
+    pub fn free_comm(&self, link: LinkId) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| {
+                s.free
+                    && s.kind == QubitKind::Electron
+                    && (s.link.is_none() || s.link == Some(link))
+            })
+            .count()
+    }
+
+    /// Number of free storage qubits.
+    pub fn free_storage(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.free && s.kind == QubitKind::Carbon)
+            .count()
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_link_slots_are_dedicated() {
+        let links = [LinkId(0), LinkId(1)];
+        let mut dev = QDevice::per_link(NodeId(0), &links, 2, HardwareParams::simulation());
+        assert_eq!(dev.capacity(), 4);
+        assert_eq!(dev.free_comm(LinkId(0)), 2);
+        let q0 = dev.alloc_comm(LinkId(0)).unwrap();
+        let q1 = dev.alloc_comm(LinkId(0)).unwrap();
+        assert_ne!(q0, q1);
+        // Link 0 pool exhausted; link 1 unaffected.
+        assert!(dev.alloc_comm(LinkId(0)).is_none());
+        assert_eq!(dev.free_comm(LinkId(1)), 2);
+        dev.free(q0);
+        assert_eq!(dev.free_comm(LinkId(0)), 1);
+        assert!(dev.alloc_comm(LinkId(0)).is_some());
+    }
+
+    #[test]
+    fn near_term_shares_one_electron() {
+        let mut dev = QDevice::near_term(NodeId(1), 2, HardwareParams::near_term());
+        assert_eq!(dev.capacity(), 3);
+        let e = dev.alloc_comm(LinkId(0)).unwrap();
+        assert_eq!(dev.kind(e), QubitKind::Electron);
+        // The single electron serves all links — none left for link 1.
+        assert!(dev.alloc_comm(LinkId(1)).is_none());
+        let c = dev.alloc_storage().unwrap();
+        assert_eq!(dev.kind(c), QubitKind::Carbon);
+        assert_eq!(dev.free_storage(), 1);
+        dev.free(e);
+        assert!(dev.alloc_comm(LinkId(1)).is_some());
+    }
+
+    #[test]
+    fn coherence_times_differ_by_kind() {
+        let dev = QDevice::near_term(NodeId(0), 1, HardwareParams::near_term());
+        let (t1_e, t2_e) = dev.coherence_times(QubitId(0));
+        let (t1_c, t2_c) = dev.coherence_times(QubitId(1));
+        assert_eq!(t2_e, 1.46);
+        assert_eq!(t2_c, 60.0);
+        assert!(t1_e > 0.0 && t1_c > 0.0);
+    }
+
+    #[test]
+    fn storage_alloc_fails_without_carbons() {
+        let mut dev = QDevice::per_link(NodeId(0), &[LinkId(0)], 2, HardwareParams::simulation());
+        assert!(dev.alloc_storage().is_none());
+        assert_eq!(dev.free_storage(), 0);
+    }
+}

@@ -1,0 +1,733 @@
+//! The entangled-pair store: the quantum memory content of the network.
+//!
+//! Every live entangled pair is one [`Pair`] — a two-qubit density matrix
+//! whose ends live on two (possibly distant) nodes. The store implements
+//! the physical operations of the data plane:
+//!
+//! * **lazy decoherence** — each end records when its noise was last
+//!   advanced; every touch first applies T1 amplitude damping and T2*
+//!   dephasing for the elapsed idle time (paper's P4);
+//! * **entanglement swap** — the CNOT → H → measure circuit built from
+//!   noisy primitives, joining two pairs into one (P2 + P3). The physical
+//!   projection uses the *true* measurement outcomes while the announced
+//!   two-bit result uses *readout-noisy* bits, exactly reproducing how
+//!   readout errors corrupt entanglement tracking on real hardware;
+//! * **measurement** of one end with readout error (MEASURE deliveries,
+//!   fidelity test rounds);
+//! * **Pauli correction**, extra dephasing (nuclear-spin noise), and end
+//!   re-targeting (moving a qubit into carbon storage).
+//!
+//! The store is also the **oracle** used by the Fig 10 baseline: it can
+//! report the true fidelity of any pair — the paper's "backdoor mechanism
+//! … not available outside of simulations". The QNP itself never calls it.
+
+use crate::device::QubitId;
+use crate::params::{HardwareParams, ReadoutSpec};
+use qn_quantum::bell::BellState;
+use qn_quantum::channels;
+use qn_quantum::gates::{self, Pauli};
+use qn_quantum::measure::swap_circuit_outcome;
+use qn_quantum::DensityMatrix;
+use qn_sim::{NodeId, SimRng, SimTime};
+use std::collections::HashMap;
+
+/// Identifier of a live entangled pair.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PairId(pub u64);
+
+/// One end of a pair: which qubit on which node holds it, with its
+/// decoherence bookkeeping.
+#[derive(Clone, Debug)]
+pub struct PairEnd {
+    /// The node holding this end.
+    pub node: NodeId,
+    /// The memory slot on that node.
+    pub qubit: QubitId,
+    /// T1 of the slot (seconds).
+    pub t1: f64,
+    /// T2* of the slot (seconds).
+    pub t2: f64,
+    /// When decoherence was last applied to this end.
+    pub last_noise: SimTime,
+    /// Set once the end has been measured (its qubit is classical).
+    pub measured: bool,
+}
+
+/// A live entangled pair.
+#[derive(Clone, Debug)]
+pub struct Pair {
+    /// The pair's identity in the store.
+    pub id: PairId,
+    state: DensityMatrix,
+    /// The Bell state a *perfect* tracker would assign: the link layer's
+    /// announced state for fresh pairs, XOR-combined through every swap.
+    /// Protocol-level TRACK accounting must agree with this (tested), and
+    /// the oracle measures fidelity against it.
+    pub announced: BellState,
+    /// Creation (heralding or swap-completion) time.
+    pub created: SimTime,
+    ends: [PairEnd; 2],
+}
+
+impl Pair {
+    /// The two ends.
+    pub fn ends(&self) -> &[PairEnd; 2] {
+        &self.ends
+    }
+
+    /// Index (0/1) of the end on `node`, if any.
+    pub fn end_at(&self, node: NodeId) -> Option<usize> {
+        self.ends.iter().position(|e| e.node == node)
+    }
+
+    /// The current two-qubit state (without advancing decoherence — use
+    /// [`PairStore::fidelity_to`] for oracle reads).
+    pub fn state(&self) -> &DensityMatrix {
+        &self.state
+    }
+}
+
+/// Noise model of the swap circuit, derived from [`HardwareParams`].
+#[derive(Clone, Copy, Debug)]
+pub struct SwapNoise {
+    /// Two-qubit depolarizing probability (from the E-C gate fidelity).
+    pub p_two_qubit: f64,
+    /// Single-qubit depolarizing probability (from the electron gate).
+    pub p_single: f64,
+    /// Readout error model.
+    pub readout: ReadoutSpec,
+}
+
+impl SwapNoise {
+    /// Derive from a hardware parameter set.
+    pub fn from_params(p: &HardwareParams) -> Self {
+        SwapNoise {
+            p_two_qubit: channels::depolarizing_param_for_fidelity(p.gates.two_qubit.fidelity, 4),
+            p_single: channels::depolarizing_param_for_fidelity(
+                p.gates.electron_single.fidelity,
+                2,
+            ),
+            readout: p.gates.readout,
+        }
+    }
+}
+
+/// Result of an entanglement swap.
+#[derive(Clone, Copy, Debug)]
+pub struct SwapResult {
+    /// The two-bit outcome *as announced* (includes readout error).
+    pub outcome: BellState,
+    /// The joined pair's id.
+    pub new_pair: PairId,
+    /// The qubits freed at the swapping node.
+    pub freed: [(NodeId, QubitId); 2],
+}
+
+/// Result of measuring one end of a pair.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasureResult {
+    /// The physical outcome that collapsed the state.
+    pub true_outcome: bool,
+    /// The outcome reported by the (imperfect) readout.
+    pub reported: bool,
+}
+
+/// All live pairs in the network.
+#[derive(Default)]
+pub struct PairStore {
+    pairs: HashMap<u64, Pair>,
+    next: u64,
+}
+
+impl PairStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no pairs are live.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Register a freshly heralded pair. `ends` lists `(node, qubit, t1,
+    /// t2)` for each side; end 0 corresponds to qubit 0 of `state`.
+    pub fn create(
+        &mut self,
+        now: SimTime,
+        state: DensityMatrix,
+        announced: BellState,
+        ends: [(NodeId, QubitId, f64, f64); 2],
+    ) -> PairId {
+        assert_eq!(state.num_qubits(), 2);
+        let id = PairId(self.next);
+        self.next += 1;
+        let mk = |(node, qubit, t1, t2): (NodeId, QubitId, f64, f64)| PairEnd {
+            node,
+            qubit,
+            t1,
+            t2,
+            last_noise: now,
+            measured: false,
+        };
+        self.pairs.insert(
+            id.0,
+            Pair {
+                id,
+                state,
+                announced,
+                created: now,
+                ends: [mk(ends[0]), mk(ends[1])],
+            },
+        );
+        id
+    }
+
+    /// Look up a pair.
+    pub fn get(&self, id: PairId) -> Option<&Pair> {
+        self.pairs.get(&id.0)
+    }
+
+    /// Whether the pair is still live.
+    pub fn contains(&self, id: PairId) -> bool {
+        self.pairs.contains_key(&id.0)
+    }
+
+    /// Remove a pair (cutoff discard, delivery consumption). Returns the
+    /// qubits freed, for return to the memory manager.
+    pub fn discard(&mut self, id: PairId) -> Option<[(NodeId, QubitId); 2]> {
+        self.pairs.remove(&id.0).map(|p| {
+            [
+                (p.ends[0].node, p.ends[0].qubit),
+                (p.ends[1].node, p.ends[1].qubit),
+            ]
+        })
+    }
+
+    /// Advance decoherence on both ends to `now`.
+    pub fn advance(&mut self, id: PairId, now: SimTime) {
+        let pair = self.pairs.get_mut(&id.0).expect("advance on dead pair");
+        for (idx, end) in pair.ends.iter_mut().enumerate() {
+            if end.measured {
+                end.last_noise = now;
+                continue;
+            }
+            let dt = now.since(end.last_noise).as_secs_f64();
+            end.last_noise = now;
+            if dt <= 0.0 {
+                continue;
+            }
+            let gamma = channels::damping_prob(dt, end.t1);
+            if gamma > 0.0 {
+                pair.state
+                    .apply_kraus(&channels::amplitude_damping(gamma), &[idx]);
+            }
+            let p = channels::dephasing_prob(dt, end.t2);
+            if p > 0.0 {
+                pair.state.apply_kraus(&channels::dephasing(p), &[idx]);
+            }
+        }
+    }
+
+    /// Oracle: the true fidelity of the pair to `expected` at time `now`.
+    ///
+    /// Used only by the Fig 10 baseline and by validation tests — the QNP
+    /// itself has no access to this (the paper's point about the
+    /// "physically impossible" oracle).
+    pub fn fidelity_to(&mut self, id: PairId, expected: BellState, now: SimTime) -> f64 {
+        self.advance(id, now);
+        let pair = &self.pairs[&id.0];
+        pair.state.fidelity_pure(&expected.amplitudes())
+    }
+
+    /// Apply a (perfect, per Table 1) Pauli correction to the end on
+    /// `node`.
+    pub fn apply_pauli(&mut self, id: PairId, node: NodeId, pauli: Pauli, now: SimTime) {
+        self.advance(id, now);
+        let pair = self.pairs.get_mut(&id.0).expect("pauli on dead pair");
+        let idx = pair.end_at(node).expect("node does not hold this pair");
+        if pauli != Pauli::I {
+            pair.state.apply_unitary(&pauli.matrix(), &[idx]);
+        }
+        // Track the frame change on the reference state too, so the oracle
+        // keeps measuring against what a perfect tracker would expect.
+        let target = match pauli {
+            Pauli::I => pair.announced,
+            Pauli::X => BellState::from_bits(!pair.announced.x, pair.announced.z),
+            Pauli::Z => BellState::from_bits(pair.announced.x, !pair.announced.z),
+            Pauli::Y => BellState::from_bits(!pair.announced.x, !pair.announced.z),
+        };
+        pair.announced = target;
+    }
+
+    /// Apply extra dephasing (nuclear-spin noise during entanglement
+    /// attempts) with phase-flip probability `lambda` to the end on `node`.
+    pub fn apply_dephasing(&mut self, id: PairId, node: NodeId, lambda: f64) {
+        if lambda <= 0.0 {
+            return;
+        }
+        let pair = self.pairs.get_mut(&id.0).expect("dephase on dead pair");
+        let idx = pair.end_at(node).expect("node does not hold this pair");
+        pair.state
+            .apply_kraus(&channels::dephasing(lambda.min(0.5)), &[idx]);
+    }
+
+    /// Move the end on `node` to a different memory slot (electron →
+    /// carbon storage). `p_move` is the depolarizing probability charged
+    /// for the transfer circuit; the end inherits the new slot's T1/T2.
+    #[allow(clippy::too_many_arguments)] // a physical move has this many degrees of freedom
+    pub fn retarget_end(
+        &mut self,
+        id: PairId,
+        node: NodeId,
+        new_qubit: QubitId,
+        t1: f64,
+        t2: f64,
+        p_move: f64,
+        now: SimTime,
+    ) -> QubitId {
+        self.advance(id, now);
+        let pair = self.pairs.get_mut(&id.0).expect("retarget on dead pair");
+        let idx = pair.end_at(node).expect("node does not hold this pair");
+        if p_move > 0.0 {
+            pair.state
+                .apply_kraus(&channels::depolarizing(p_move), &[idx]);
+        }
+        let old = pair.ends[idx].qubit;
+        pair.ends[idx].qubit = new_qubit;
+        pair.ends[idx].t1 = t1;
+        pair.ends[idx].t2 = t2;
+        old
+    }
+
+    /// Measure the end on `node` in the given Pauli basis with readout
+    /// noise. The state collapses according to the *true* outcome; the
+    /// caller receives both the true and the reported bit.
+    pub fn measure_end(
+        &mut self,
+        id: PairId,
+        node: NodeId,
+        basis: Pauli,
+        readout: &ReadoutSpec,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> MeasureResult {
+        self.advance(id, now);
+        let pair = self.pairs.get_mut(&id.0).expect("measure on dead pair");
+        let idx = pair.end_at(node).expect("node does not hold this pair");
+        assert!(!pair.ends[idx].measured, "end already measured");
+        let true_outcome =
+            qn_quantum::measure::measure_pauli(&mut pair.state, idx, basis, rng.f64());
+        pair.ends[idx].measured = true;
+        let reported = apply_readout_error(true_outcome, readout, rng);
+        MeasureResult {
+            true_outcome,
+            reported,
+        }
+    }
+
+    /// Whether both ends have been measured (the pair carries no more
+    /// quantum information and can be discarded).
+    pub fn fully_measured(&self, id: PairId) -> bool {
+        self.pairs
+            .get(&id.0)
+            .map(|p| p.ends.iter().all(|e| e.measured))
+            .unwrap_or(true)
+    }
+
+    /// Entanglement swap at `shared`: join `pa` and `pb` via the noisy
+    /// CNOT → H → measure circuit. Consumes both pairs, creates the joined
+    /// pair, frees the two qubits at `shared`.
+    ///
+    /// Call at the *completion* time of the swap operation so that the
+    /// decoherence suffered during the (long, 500 µs) gate is charged
+    /// before the projection.
+    pub fn swap(
+        &mut self,
+        pa: PairId,
+        pb: PairId,
+        shared: NodeId,
+        now: SimTime,
+        noise: &SwapNoise,
+        rng: &mut SimRng,
+    ) -> SwapResult {
+        self.advance(pa, now);
+        self.advance(pb, now);
+        let a = self.pairs.remove(&pa.0).expect("swap: pair A dead");
+        let b = self.pairs.remove(&pb.0).expect("swap: pair B dead");
+        let ia = a.end_at(shared).expect("pair A not at swap node");
+        let ib = b.end_at(shared).expect("pair B not at swap node");
+        let oa = 1 - ia; // outer end of A
+        let ob = 1 - ib;
+
+        // Joint register: [a0, a1, b0, b1].
+        let mut joint = a.state.tensor(&b.state);
+        let qa = ia; // control: A's qubit at the node
+        let qb = 2 + ib; // target: B's qubit at the node
+
+        // Noisy CNOT.
+        joint.apply_unitary(&gates::cnot(), &[qa, qb]);
+        if noise.p_two_qubit > 0.0 {
+            joint.apply_kraus(&channels::depolarizing_2q(noise.p_two_qubit), &[qa, qb]);
+        }
+        // Noisy H on the control.
+        joint.apply_unitary(&gates::h(), &[qa]);
+        if noise.p_single > 0.0 {
+            joint.apply_kraus(&channels::depolarizing(noise.p_single), &[qa]);
+        }
+        // Physical measurements: true outcomes collapse the state.
+        let m_control = joint.measure_z(qa, rng.f64());
+        let m_target = joint.measure_z(qb, rng.f64());
+        // Announced outcomes pass through the imperfect readout.
+        let r_control = apply_readout_error(m_control, &noise.readout, rng);
+        let r_target = apply_readout_error(m_target, &noise.readout, rng);
+        let outcome = swap_circuit_outcome(r_control, r_target);
+
+        // Remaining state on the outer ends (A's outer first).
+        let keep = [oa, 2 + ob];
+        let state = joint.partial_trace_keep(&keep);
+
+        let announced = a.announced.combine(b.announced, outcome);
+        let id = PairId(self.next);
+        self.next += 1;
+        let created = now;
+        let freed = [
+            (a.ends[ia].node, a.ends[ia].qubit),
+            (b.ends[ib].node, b.ends[ib].qubit),
+        ];
+        let ends = [a.ends[oa].clone(), b.ends[ob].clone()];
+        self.pairs.insert(
+            id.0,
+            Pair {
+                id,
+                state,
+                announced,
+                created,
+                ends,
+            },
+        );
+        SwapResult {
+            outcome,
+            new_pair: id,
+            freed,
+        }
+    }
+
+    /// Replace a pair's state and reference frame wholesale (used by the
+    /// distillation circuit, which rebuilds the kept pair's state from
+    /// the joint register).
+    pub fn replace_state(&mut self, id: PairId, state: DensityMatrix, announced: BellState) {
+        let pair = self.pairs.get_mut(&id.0).expect("replace on dead pair");
+        assert_eq!(state.num_qubits(), 2);
+        pair.state = state;
+        pair.announced = announced;
+    }
+
+    /// Escape hatch for applications and experiments (teleportation
+    /// example, tomography tests): mutate the raw pair state.
+    pub fn with_state_mut<R>(
+        &mut self,
+        id: PairId,
+        f: impl FnOnce(&mut DensityMatrix) -> R,
+    ) -> Option<R> {
+        self.pairs.get_mut(&id.0).map(|p| f(&mut p.state))
+    }
+
+    /// Iterate over all live pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &Pair> {
+        self.pairs.values()
+    }
+}
+
+/// Flip a measurement outcome according to the outcome-dependent readout
+/// fidelities of Table 1.
+fn apply_readout_error(true_outcome: bool, readout: &ReadoutSpec, rng: &mut SimRng) -> bool {
+    let fid = if true_outcome {
+        readout.fidelity1
+    } else {
+        readout.fidelity0
+    };
+    if rng.bernoulli(1.0 - fid) {
+        !true_outcome
+    } else {
+        true_outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_sim::SimDuration;
+
+    fn perfect_readout() -> ReadoutSpec {
+        ReadoutSpec {
+            fidelity0: 1.0,
+            fidelity1: 1.0,
+            duration: 0.0,
+        }
+    }
+
+    fn mk_pair(store: &mut PairStore, t2: f64, bell: BellState, now: SimTime) -> PairId {
+        store.create(
+            now,
+            bell.density(),
+            bell,
+            [
+                (NodeId(0), QubitId(0), 3600.0, t2),
+                (NodeId(1), QubitId(0), 3600.0, t2),
+            ],
+        )
+    }
+
+    #[test]
+    fn fresh_pair_has_unit_fidelity() {
+        let mut store = PairStore::new();
+        let id = mk_pair(&mut store, 60.0, BellState::PSI_PLUS, SimTime::ZERO);
+        let f = store.fidelity_to(id, BellState::PSI_PLUS, SimTime::ZERO);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_pair_decoheres() {
+        let mut store = PairStore::new();
+        let id = mk_pair(&mut store, 1.0, BellState::PHI_PLUS, SimTime::ZERO);
+        let f1 = store.fidelity_to(
+            id,
+            BellState::PHI_PLUS,
+            SimTime::ZERO + SimDuration::from_millis(100),
+        );
+        let f2 = store.fidelity_to(
+            id,
+            BellState::PHI_PLUS,
+            SimTime::ZERO + SimDuration::from_secs(2),
+        );
+        assert!(f1 < 1.0);
+        assert!(f2 < f1);
+        // Fully dephased pair bottoms out at 0.5 (T1 is long).
+        let f3 = store.fidelity_to(
+            id,
+            BellState::PHI_PLUS,
+            SimTime::ZERO + SimDuration::from_secs(100),
+        );
+        assert!((f3 - 0.5).abs() < 0.02, "long-idle fidelity {f3}");
+    }
+
+    #[test]
+    fn decoherence_matches_analytic_dephasing() {
+        let mut store = PairStore::new();
+        let t2 = 2.0;
+        // Infinite T1 isolates pure dephasing for the analytic comparison.
+        let id = store.create(
+            SimTime::ZERO,
+            BellState::PHI_PLUS.density(),
+            BellState::PHI_PLUS,
+            [
+                (NodeId(0), QubitId(0), f64::INFINITY, t2),
+                (NodeId(1), QubitId(0), f64::INFINITY, t2),
+            ],
+        );
+        let t = 0.5;
+        let f = store.fidelity_to(
+            id,
+            BellState::PHI_PLUS,
+            SimTime::ZERO + SimDuration::from_secs_f64(t),
+        );
+        let p = channels::dephasing_prob(t, t2);
+        let lambda = qn_quantum::formulas::combine_flip_probs(p, p);
+        let expected = qn_quantum::formulas::dephased_pair_fidelity(1.0, lambda);
+        assert!(
+            (f - expected).abs() < 1e-6,
+            "sim {f} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn noiseless_swap_preserves_tracking() {
+        let mut store = PairStore::new();
+        let now = SimTime::ZERO;
+        let a = store.create(
+            now,
+            BellState::PSI_PLUS.density(),
+            BellState::PSI_PLUS,
+            [
+                (NodeId(0), QubitId(0), 3600.0, 60.0),
+                (NodeId(1), QubitId(0), 3600.0, 60.0),
+            ],
+        );
+        let b = store.create(
+            now,
+            BellState::PSI_MINUS.density(),
+            BellState::PSI_MINUS,
+            [
+                (NodeId(1), QubitId(1), 3600.0, 60.0),
+                (NodeId(2), QubitId(0), 3600.0, 60.0),
+            ],
+        );
+        let noise = SwapNoise {
+            p_two_qubit: 0.0,
+            p_single: 0.0,
+            readout: perfect_readout(),
+        };
+        let mut rng = SimRng::from_seed(7);
+        let res = store.swap(a, b, NodeId(1), now, &noise, &mut rng);
+        let pair = store.get(res.new_pair).unwrap();
+        assert_eq!(pair.ends()[0].node, NodeId(0));
+        assert_eq!(pair.ends()[1].node, NodeId(2));
+        assert_eq!(res.freed[0], (NodeId(1), QubitId(0)));
+        assert_eq!(res.freed[1], (NodeId(1), QubitId(1)));
+        let expected = BellState::PSI_PLUS.combine(BellState::PSI_MINUS, res.outcome);
+        assert_eq!(pair.announced, expected);
+        let f = store.fidelity_to(res.new_pair, expected, now);
+        assert!((f - 1.0).abs() < 1e-9, "noiseless swap fidelity {f}");
+        assert!(!store.contains(a));
+        assert!(!store.contains(b));
+    }
+
+    #[test]
+    fn noisy_swap_reduces_fidelity_as_formula_predicts() {
+        let mut rng = SimRng::from_seed(11);
+        let noise = SwapNoise {
+            p_two_qubit: channels::depolarizing_param_for_fidelity(0.998, 4),
+            p_single: 0.0,
+            readout: perfect_readout(),
+        };
+        let mut total = 0.0;
+        let n = 20;
+        for _ in 0..n {
+            let mut store = PairStore::new();
+            let now = SimTime::ZERO;
+            let a = mk_pair(&mut store, 60.0, BellState::PHI_PLUS, now);
+            let b = store.create(
+                now,
+                BellState::PHI_PLUS.density(),
+                BellState::PHI_PLUS,
+                [
+                    (NodeId(1), QubitId(1), 3600.0, 60.0),
+                    (NodeId(2), QubitId(0), 3600.0, 60.0),
+                ],
+            );
+            let res = store.swap(a, b, NodeId(1), now, &noise, &mut rng);
+            let announced = store.get(res.new_pair).unwrap().announced;
+            total += store.fidelity_to(res.new_pair, announced, now);
+        }
+        let mean = total / n as f64;
+        // Perfect inputs through a 0.998-fidelity gate: expect ≈ 0.998
+        // minus small residuals; allow generous tolerance for sampling.
+        assert!(mean > 0.99 && mean < 1.0, "mean post-swap fidelity {mean}");
+    }
+
+    #[test]
+    fn readout_error_corrupts_announcement_not_projection() {
+        // With fidelity-0 readout the announced bits are always flipped:
+        // the announced Bell state is wrong in a *predictable* way.
+        let mut store = PairStore::new();
+        let now = SimTime::ZERO;
+        let a = mk_pair(&mut store, 60.0, BellState::PHI_PLUS, now);
+        let b = store.create(
+            now,
+            BellState::PHI_PLUS.density(),
+            BellState::PHI_PLUS,
+            [
+                (NodeId(1), QubitId(1), 3600.0, 60.0),
+                (NodeId(2), QubitId(0), 3600.0, 60.0),
+            ],
+        );
+        let noise = SwapNoise {
+            p_two_qubit: 0.0,
+            p_single: 0.0,
+            readout: ReadoutSpec {
+                fidelity0: 0.0,
+                fidelity1: 0.0,
+                duration: 0.0,
+            },
+        };
+        let mut rng = SimRng::from_seed(3);
+        let res = store.swap(a, b, NodeId(1), now, &noise, &mut rng);
+        // Announced state uses double-flipped bits: fidelity of the DM to
+        // the announced state is 0 (orthogonal Bell state).
+        let announced = store.get(res.new_pair).unwrap().announced;
+        let f = store.fidelity_to(res.new_pair, announced, now);
+        assert!(f < 1e-9, "fully wrong readout must mistrack: {f}");
+    }
+
+    #[test]
+    fn measurement_of_bell_pair_correlates() {
+        let mut rng = SimRng::from_seed(5);
+        let readout = perfect_readout();
+        let mut agree = 0;
+        let n = 50;
+        for _ in 0..n {
+            let mut store = PairStore::new();
+            let id = mk_pair(&mut store, 60.0, BellState::PHI_PLUS, SimTime::ZERO);
+            let m0 = store.measure_end(id, NodeId(0), Pauli::Z, &readout, SimTime::ZERO, &mut rng);
+            let m1 = store.measure_end(id, NodeId(1), Pauli::Z, &readout, SimTime::ZERO, &mut rng);
+            assert!(store.fully_measured(id));
+            if m0.true_outcome == m1.true_outcome {
+                agree += 1;
+            }
+        }
+        assert_eq!(agree, n, "Φ+ must give perfectly correlated Z outcomes");
+    }
+
+    #[test]
+    fn psi_pairs_anticorrelate_in_z() {
+        let mut rng = SimRng::from_seed(9);
+        let readout = perfect_readout();
+        for _ in 0..20 {
+            let mut store = PairStore::new();
+            let id = mk_pair(&mut store, 60.0, BellState::PSI_PLUS, SimTime::ZERO);
+            let m0 = store.measure_end(id, NodeId(0), Pauli::Z, &readout, SimTime::ZERO, &mut rng);
+            let m1 = store.measure_end(id, NodeId(1), Pauli::Z, &readout, SimTime::ZERO, &mut rng);
+            assert_ne!(m0.true_outcome, m1.true_outcome);
+        }
+    }
+
+    #[test]
+    fn pauli_correction_changes_frame() {
+        let mut store = PairStore::new();
+        let id = mk_pair(&mut store, 60.0, BellState::PSI_PLUS, SimTime::ZERO);
+        store.apply_pauli(id, NodeId(1), Pauli::X, SimTime::ZERO);
+        let pair = store.get(id).unwrap();
+        assert_eq!(pair.announced, BellState::PHI_PLUS);
+        let f = store.fidelity_to(id, BellState::PHI_PLUS, SimTime::ZERO);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_dephasing_reduces_fidelity() {
+        let mut store = PairStore::new();
+        let id = mk_pair(&mut store, 60.0, BellState::PHI_PLUS, SimTime::ZERO);
+        store.apply_dephasing(id, NodeId(0), 0.1);
+        let f = store.fidelity_to(id, BellState::PHI_PLUS, SimTime::ZERO);
+        assert!((f - 0.9).abs() < 1e-9, "lambda=0.1 should cost 0.1: {f}");
+    }
+
+    #[test]
+    fn retarget_moves_end_and_charges_noise() {
+        let mut store = PairStore::new();
+        let id = mk_pair(&mut store, 1.46, BellState::PHI_PLUS, SimTime::ZERO);
+        let old = store.retarget_end(id, NodeId(0), QubitId(5), 360.0, 60.0, 0.02, SimTime::ZERO);
+        assert_eq!(old, QubitId(0));
+        let pair = store.get(id).unwrap();
+        let end = &pair.ends()[pair.end_at(NodeId(0)).unwrap()];
+        assert_eq!(end.qubit, QubitId(5));
+        assert_eq!(end.t2, 60.0);
+        let f = store.fidelity_to(id, BellState::PHI_PLUS, SimTime::ZERO);
+        assert!(f < 1.0 && f > 0.97, "move noise charged once: {f}");
+    }
+
+    #[test]
+    fn discard_frees_qubits() {
+        let mut store = PairStore::new();
+        let id = mk_pair(&mut store, 60.0, BellState::PHI_PLUS, SimTime::ZERO);
+        let freed = store.discard(id).unwrap();
+        assert_eq!(freed[0], (NodeId(0), QubitId(0)));
+        assert!(!store.contains(id));
+        assert!(store.discard(id).is_none());
+    }
+}

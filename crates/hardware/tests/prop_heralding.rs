@@ -1,0 +1,135 @@
+//! Property tests for the single-click heralding model and the pair
+//! store's physical invariants.
+
+use proptest::prelude::*;
+use qn_hardware::device::QubitId;
+use qn_hardware::heralding::LinkPhysics;
+use qn_hardware::pairs::{PairStore, SwapNoise};
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_quantum::bell::BellState;
+use qn_sim::{NodeId, SimDuration, SimRng, SimTime};
+
+fn lab() -> LinkPhysics {
+    LinkPhysics::new(HardwareParams::simulation(), FibreParams::lab_2m())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The rate–fidelity trade-off is a genuine trade-off: on the
+    /// operating branch, raising alpha raises the success probability
+    /// and lowers the fidelity, monotonically.
+    #[test]
+    fn alpha_tradeoff_is_monotone(a in 0.01f64..0.45, delta in 0.01f64..0.05) {
+        let physics = lab();
+        let (_, alpha_peak) = physics.max_fidelity();
+        prop_assume!(a >= alpha_peak);
+        let b = (a + delta).min(0.5);
+        prop_assert!(physics.success_prob(b) > physics.success_prob(a));
+        prop_assert!(physics.fidelity(b) <= physics.fidelity(a) + 1e-12);
+    }
+
+    /// `alpha_for_fidelity` is a right inverse of `fidelity` wherever it
+    /// succeeds, and it always returns the *fastest* compliant alpha
+    /// (any higher alpha violates the target).
+    #[test]
+    fn alpha_for_fidelity_is_tight(target in 0.75f64..0.97) {
+        let physics = lab();
+        if let Some(alpha) = physics.alpha_for_fidelity(target) {
+            prop_assert!(physics.fidelity(alpha) >= target - 1e-6);
+            if alpha < 0.5 {
+                let above = (alpha * 1.05).min(0.5);
+                prop_assert!(
+                    physics.fidelity(above) < target + 1e-6,
+                    "a faster alpha also satisfies the target — not tight"
+                );
+            }
+        }
+    }
+
+    /// Heralded states are valid density matrices for any alpha, and
+    /// their fidelity matches the analytic expression.
+    #[test]
+    fn heralded_states_are_valid(alpha in 0.005f64..0.5, minus in any::<bool>()) {
+        let physics = lab();
+        let announced = if minus { BellState::PSI_MINUS } else { BellState::PSI_PLUS };
+        let rho = physics.heralded_state(alpha, announced);
+        prop_assert!((rho.trace() - 1.0).abs() < 1e-9);
+        prop_assert!(rho.purity() <= 1.0 + 1e-9);
+        let f = rho.fidelity_pure(&announced.amplitudes());
+        prop_assert!((f - physics.fidelity(alpha)).abs() < 1e-9);
+    }
+
+    /// Pair-store physical invariants under random idle/swap sequences:
+    /// trace stays 1, fidelity stays in [0,1] and never *increases* from
+    /// idling.
+    #[test]
+    fn decoherence_never_raises_fidelity(
+        t2 in 0.1f64..10.0,
+        waits_ms in proptest::collection::vec(1u64..2000, 1..8),
+    ) {
+        let mut store = PairStore::new();
+        let id = store.create(
+            SimTime::ZERO,
+            BellState::PHI_PLUS.density(),
+            BellState::PHI_PLUS,
+            [
+                (NodeId(0), QubitId(0), 3600.0, t2),
+                (NodeId(1), QubitId(0), 3600.0, t2),
+            ],
+        );
+        let mut now = SimTime::ZERO;
+        let mut last_f = 1.0;
+        for w in waits_ms {
+            now += SimDuration::from_millis(w);
+            let f = store.fidelity_to(id, BellState::PHI_PLUS, now);
+            prop_assert!(f <= last_f + 1e-9, "idling increased fidelity: {f} > {last_f}");
+            prop_assert!((0.0..=1.0).contains(&f));
+            let pair = store.get(id).unwrap();
+            prop_assert!((pair.state().trace() - 1.0).abs() < 1e-6);
+            last_f = f;
+        }
+    }
+
+    /// Random chains of noisy swaps keep valid states and the announced
+    /// Bell state tracks the physical state's dominant component while
+    /// fidelity stays above the mistracking floor.
+    #[test]
+    fn random_swap_chains_stay_physical(seed in 0u64..500, n_links in 2usize..5) {
+        let params = HardwareParams::simulation();
+        let noise = SwapNoise::from_params(&params);
+        let mut rng = SimRng::from_seed(seed);
+        let mut store = PairStore::new();
+        let mut pairs = Vec::new();
+        for i in 0..n_links {
+            let announced = if rng.bernoulli(0.5) { BellState::PSI_PLUS } else { BellState::PSI_MINUS };
+            let mut state = BellState::PHI_PLUS.density();
+            let corr = BellState::PHI_PLUS.correction_to(announced);
+            if corr != qn_quantum::Pauli::I {
+                state.apply_unitary(&corr.matrix(), &[1]);
+            }
+            pairs.push(store.create(
+                SimTime::ZERO,
+                state,
+                announced,
+                [
+                    (NodeId(i as u32), QubitId(1), 3600.0, 60.0),
+                    (NodeId(i as u32 + 1), QubitId(0), 3600.0, 60.0),
+                ],
+            ));
+        }
+        // Swap left to right.
+        let mut current = pairs[0];
+        for (i, next) in pairs.iter().enumerate().skip(1) {
+            let res = store.swap(current, *next, NodeId(i as u32), SimTime::ZERO, &noise, &mut rng);
+            current = res.new_pair;
+        }
+        let pair = store.get(current).unwrap();
+        prop_assert!((pair.state().trace() - 1.0).abs() < 1e-6);
+        let announced = pair.announced;
+        let f = store.fidelity_to(current, announced, SimTime::ZERO);
+        // With 0.998 gates and 0.998 readout over ≤3 swaps, the announced
+        // state should almost always be the dominant component.
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}

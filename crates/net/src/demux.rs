@@ -1,0 +1,243 @@
+//! Request demultiplexing at the circuit end-nodes (paper §4.1
+//! "Aggregation" and Appendix C.3 "Demultiplexing").
+//!
+//! A virtual circuit aggregates every request between the same end-points
+//! at the same fidelity; the *demultiplexer* assigns each delivered pair
+//! to a concrete request. We implement the **symmetric** strategy used in
+//! the paper's simulations: both end-nodes run the same deterministic
+//! round-robin over the same request set, accepting that transient
+//! disagreement is possible; the TRACK cross-check catches mismatches and
+//! the pair is discarded (or reassigned by higher layers).
+//!
+//! **Epochs** version the active request set: a new epoch is *created*
+//! whenever a request arrives or completes, but only *activated* once the
+//! head-end announces it on a TRACK message and the corresponding pair
+//! delivers — keeping both ends' views change-aligned with the pair
+//! stream rather than with message arrival times.
+
+use crate::ids::{Epoch, RequestId};
+use std::collections::BTreeMap;
+
+/// Symmetric round-robin demultiplexer with epoch versioning.
+#[derive(Clone, Debug)]
+pub struct SymmetricDemux {
+    /// Request sets per epoch; pruned as epochs retire.
+    epochs: BTreeMap<Epoch, Vec<RequestId>>,
+    active: Epoch,
+    latest: Epoch,
+    cursor: u64,
+}
+
+impl Default for SymmetricDemux {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SymmetricDemux {
+    /// A demultiplexer with an empty epoch 0.
+    pub fn new() -> Self {
+        let mut epochs = BTreeMap::new();
+        epochs.insert(Epoch(0), Vec::new());
+        SymmetricDemux {
+            epochs,
+            active: Epoch(0),
+            latest: Epoch(0),
+            cursor: 0,
+        }
+    }
+
+    /// Create the next epoch by adding a request. Returns the new epoch.
+    pub fn add_request(&mut self, id: RequestId) -> Epoch {
+        let mut set = self.epochs[&self.latest].clone();
+        if !set.contains(&id) {
+            set.push(id);
+        }
+        self.latest = self.latest.next();
+        self.epochs.insert(self.latest, set);
+        self.maybe_auto_activate();
+        self.latest
+    }
+
+    /// Create the next epoch by removing a request. Returns the new epoch.
+    pub fn remove_request(&mut self, id: RequestId) -> Epoch {
+        let mut set = self.epochs[&self.latest].clone();
+        set.retain(|r| *r != id);
+        self.latest = self.latest.next();
+        self.epochs.insert(self.latest, set);
+        self.maybe_auto_activate();
+        self.latest
+    }
+
+    /// Activate an epoch announced on a TRACK message (monotone: earlier
+    /// epochs never reactivate). Older epochs are pruned.
+    pub fn activate(&mut self, epoch: Epoch) {
+        if epoch > self.active && self.epochs.contains_key(&epoch) {
+            self.active = epoch;
+            let keep = self.active;
+            self.epochs.retain(|e, _| *e >= keep);
+        }
+        self.maybe_auto_activate();
+    }
+
+    /// If the active set is empty but a later epoch has requests, jump
+    /// forward. Without this, the very first request could never be
+    /// served (epoch 0 is empty) — both ends apply the same deterministic
+    /// rule, preserving symmetry.
+    fn maybe_auto_activate(&mut self) {
+        if !self.epochs[&self.active].is_empty() {
+            return;
+        }
+        let next = self
+            .epochs
+            .range(self.active..)
+            .find(|(_, set)| !set.is_empty())
+            .map(|(e, _)| *e);
+        if let Some(e) = next {
+            self.active = e;
+            let keep = self.active;
+            self.epochs.retain(|ep, _| *ep >= keep);
+        }
+    }
+
+    /// The epoch a head-end puts on its next TRACK (the newest view).
+    pub fn latest(&self) -> Epoch {
+        self.latest
+    }
+
+    /// The currently active epoch.
+    pub fn active(&self) -> Epoch {
+        self.active
+    }
+
+    /// The active request set.
+    pub fn active_set(&self) -> &[RequestId] {
+        &self.epochs[&self.active]
+    }
+
+    /// Assign the next pair: deterministic round-robin over the active
+    /// set. `None` when no requests are active.
+    pub fn next_request(&mut self) -> Option<RequestId> {
+        let set = &self.epochs[&self.active];
+        if set.is_empty() {
+            return None;
+        }
+        let pick = set[(self.cursor % set.len() as u64) as usize];
+        self.cursor += 1;
+        Some(pick)
+    }
+
+    /// Cross-check a local assignment against the request carried by the
+    /// peer's TRACK message. A failure means the ends disagreed and the
+    /// pair must be discarded (or reassigned).
+    pub fn cross_check(&self, local: RequestId, remote: RequestId) -> bool {
+        local == remote
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_demux_assigns_nothing() {
+        let mut d = SymmetricDemux::new();
+        assert_eq!(d.next_request(), None);
+        assert_eq!(d.active(), Epoch(0));
+    }
+
+    #[test]
+    fn first_request_auto_activates() {
+        let mut d = SymmetricDemux::new();
+        let e = d.add_request(RequestId(1));
+        assert_eq!(e, Epoch(1));
+        // Epoch 0 is empty, so epoch 1 auto-activates.
+        assert_eq!(d.active(), Epoch(1));
+        assert_eq!(d.next_request(), Some(RequestId(1)));
+    }
+
+    #[test]
+    fn round_robin_over_active_set() {
+        let mut d = SymmetricDemux::new();
+        d.add_request(RequestId(1));
+        d.add_request(RequestId(2));
+        d.activate(d.latest());
+        let picks: Vec<_> = (0..4).map(|_| d.next_request().unwrap()).collect();
+        assert_eq!(
+            picks,
+            vec![RequestId(1), RequestId(2), RequestId(1), RequestId(2)]
+        );
+    }
+
+    #[test]
+    fn new_request_not_used_until_activated() {
+        let mut d = SymmetricDemux::new();
+        d.add_request(RequestId(1));
+        // Request 2 arrives; set change is staged in a later epoch.
+        d.add_request(RequestId(2));
+        assert_eq!(d.active_set(), &[RequestId(1)]);
+        assert_eq!(d.next_request(), Some(RequestId(1)));
+        assert_eq!(d.next_request(), Some(RequestId(1)));
+        // The head announces the new epoch and the pair delivers.
+        d.activate(d.latest());
+        let picks: Vec<_> = (0..2).map(|_| d.next_request().unwrap()).collect();
+        assert!(picks.contains(&RequestId(2)));
+    }
+
+    #[test]
+    fn removal_takes_effect_on_activation() {
+        let mut d = SymmetricDemux::new();
+        d.add_request(RequestId(1));
+        d.add_request(RequestId(2));
+        d.activate(d.latest());
+        d.remove_request(RequestId(1));
+        assert!(d.active_set().contains(&RequestId(1)), "not yet active");
+        d.activate(d.latest());
+        assert_eq!(d.active_set(), &[RequestId(2)]);
+    }
+
+    #[test]
+    fn removing_last_request_leaves_empty_set() {
+        let mut d = SymmetricDemux::new();
+        d.add_request(RequestId(1));
+        d.remove_request(RequestId(1));
+        d.activate(d.latest());
+        assert_eq!(d.next_request(), None);
+    }
+
+    #[test]
+    fn activation_is_monotone() {
+        let mut d = SymmetricDemux::new();
+        d.add_request(RequestId(1));
+        let e1 = d.latest();
+        d.add_request(RequestId(2));
+        let e2 = d.latest();
+        d.activate(e2);
+        d.activate(e1); // stale activation ignored
+        assert_eq!(d.active(), e2);
+    }
+
+    #[test]
+    fn two_ends_stay_consistent_under_same_inputs() {
+        // The symmetry property: same operation sequence ⇒ same
+        // assignment sequence at both ends.
+        let mut head = SymmetricDemux::new();
+        let mut tail = SymmetricDemux::new();
+        for d in [&mut head, &mut tail] {
+            d.add_request(RequestId(1));
+            d.add_request(RequestId(2));
+            d.add_request(RequestId(3));
+            d.activate(Epoch(3));
+        }
+        for _ in 0..9 {
+            assert_eq!(head.next_request(), tail.next_request());
+        }
+    }
+
+    #[test]
+    fn cross_check_detects_mismatch() {
+        let d = SymmetricDemux::new();
+        assert!(d.cross_check(RequestId(1), RequestId(1)));
+        assert!(!d.cross_check(RequestId(1), RequestId(2)));
+    }
+}

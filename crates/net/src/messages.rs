@@ -1,0 +1,157 @@
+//! The QNP's classical control messages (Appendix C.2).
+//!
+//! Two granularities: request-level (FORWARD, COMPLETE — head→tail) and
+//! pair-level (TRACK — both directions; EXPIRE — back to a TRACK's
+//! origin). All messages ride the circuit's reliable in-order transport
+//! connections between adjacent nodes.
+
+use crate::ids::{CircuitId, Correlator, Epoch, RequestId};
+use crate::request::RequestType;
+use qn_quantum::bell::BellState;
+
+/// FORWARD: propagates a new request from head-end to tail-end,
+/// initiating/updating link-layer generation at every node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Forward {
+    /// Circuit the request rides on.
+    pub circuit: CircuitId,
+    /// The request being added.
+    pub request: RequestId,
+    /// End-point identifier at the head-end node.
+    pub head_identifier: u32,
+    /// End-point identifier at the tail-end node.
+    pub tail_identifier: u32,
+    /// KEEP / EARLY / MEASURE (with basis).
+    pub request_type: RequestType,
+    /// Number of pairs (None for rate requests).
+    pub number_of_pairs: Option<u64>,
+    /// Requested delivery Bell state, if any.
+    pub final_state: Option<BellState>,
+    /// New total EER required by all active requests on the circuit.
+    pub rate: f64,
+}
+
+/// COMPLETE: propagates a request's completion from head-end to
+/// tail-end, updating/terminating link-layer generation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Complete {
+    /// Circuit the request rode on.
+    pub circuit: CircuitId,
+    /// The request being completed.
+    pub request: RequestId,
+    /// End-point identifier at the head-end node.
+    pub head_identifier: u32,
+    /// End-point identifier at the tail-end node.
+    pub tail_identifier: u32,
+    /// New total EER required by the remaining active requests.
+    pub rate: f64,
+}
+
+/// TRACK: the key data-plane message — tracks one chain of link-pairs
+/// and entanglement swaps along the circuit, accumulating the Bell-state
+/// information.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Track {
+    /// Circuit of the tracked pair.
+    pub circuit: CircuitId,
+    /// Request the originating end-node assigned the pair to.
+    pub request: RequestId,
+    /// End-point identifier at the head-end node.
+    pub head_identifier: u32,
+    /// End-point identifier at the tail-end node.
+    pub tail_identifier: u32,
+    /// Correlator of the link-pair that *begins* the chain (at the
+    /// message's origin end-node); used by EXPIRE.
+    pub origin: Correlator,
+    /// Correlator of the link-pair that *continues* the chain — rewritten
+    /// at every swap so the receiving node can find its local pair.
+    pub link: Correlator,
+    /// Accumulated Bell state of the chain so far.
+    pub outcome_state: BellState,
+    /// Epoch to activate after this pair delivers (set by the head-end;
+    /// `None` on tail-originated TRACKs).
+    pub epoch: Option<Epoch>,
+}
+
+/// EXPIRE: tells an end-node that the chain its TRACK was following was
+/// broken by a cutoff discard, so it must free its own qubit (end-nodes
+/// never discard on timers — §4.1 "Cutoff time").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Expire {
+    /// Circuit of the broken chain.
+    pub circuit: CircuitId,
+    /// Correlator of the link-pair at the origin end-node (from the
+    /// TRACK message).
+    pub origin: Correlator,
+}
+
+/// Any QNP message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Message {
+    /// Request propagation (head → tail).
+    Forward(Forward),
+    /// Request completion (head → tail).
+    Complete(Complete),
+    /// Pair tracking (both directions).
+    Track(Track),
+    /// Broken-chain notification (towards a TRACK's origin).
+    Expire(Expire),
+}
+
+impl Message {
+    /// The circuit this message belongs to.
+    pub fn circuit(&self) -> CircuitId {
+        match self {
+            Message::Forward(m) => m.circuit,
+            Message::Complete(m) => m.circuit,
+            Message::Track(m) => m.circuit,
+            Message::Expire(m) => m.circuit,
+        }
+    }
+
+    /// Short human-readable name (trace logs).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Forward(_) => "FORWARD",
+            Message::Complete(_) => "COMPLETE",
+            Message::Track(_) => "TRACK",
+            Message::Expire(_) => "EXPIRE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_sim::NodeId;
+
+    fn corr(seq: u64) -> Correlator {
+        Correlator {
+            node_a: NodeId(0),
+            node_b: NodeId(1),
+            seq,
+        }
+    }
+
+    #[test]
+    fn message_circuit_accessor() {
+        let t = Message::Track(Track {
+            circuit: CircuitId(5),
+            request: RequestId(1),
+            head_identifier: 1,
+            tail_identifier: 2,
+            origin: corr(0),
+            link: corr(0),
+            outcome_state: BellState::PSI_PLUS,
+            epoch: Some(Epoch(1)),
+        });
+        assert_eq!(t.circuit(), CircuitId(5));
+        assert_eq!(t.kind_name(), "TRACK");
+        let e = Message::Expire(Expire {
+            circuit: CircuitId(6),
+            origin: corr(3),
+        });
+        assert_eq!(e.circuit(), CircuitId(6));
+        assert_eq!(e.kind_name(), "EXPIRE");
+    }
+}

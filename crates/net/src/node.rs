@@ -1,0 +1,311 @@
+//! The QNP node state machine.
+//!
+//! One [`QnpNode`] per network node, holding per-circuit protocol state.
+//! Rule implementations live in [`crate::rules`]: endpoint rules
+//! (Algorithms 1–6 of Appendix C, head-end and tail-end) and repeater
+//! rules (Algorithms 7–9).
+//!
+//! The machine is sans-IO and deterministic: all effects are returned as
+//! [`NetOutput`] values, all timing lives in the runtime.
+
+use crate::demux::SymmetricDemux;
+use crate::events::{NetInput, NetOutput};
+use crate::ids::{CircuitId, Correlator, Epoch, PairRef, RequestId};
+use crate::messages::Track;
+use crate::policing::Policer;
+use crate::request::RequestType;
+use crate::routing_table::{Role, RoutingEntry};
+use qn_quantum::bell::BellState;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// State of one request known at an end-node.
+#[derive(Clone, Debug)]
+pub(crate) struct ReqState {
+    pub head_identifier: u32,
+    pub tail_identifier: u32,
+    pub request_type: RequestType,
+    pub final_state: Option<BellState>,
+    /// Total pairs, `None` for rate-based requests.
+    pub count: Option<u64>,
+    /// Confirmed deliveries at this end.
+    pub delivered: u64,
+    /// Next delivery sequence number.
+    pub next_seq: u64,
+    /// Pairs assigned by the local demultiplexer.
+    pub assigned: u64,
+    /// Set once the request finished (kept for late TRACKs).
+    pub completed: bool,
+}
+
+impl ReqState {
+    pub fn take_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    pub fn is_full(&self) -> bool {
+        matches!(self.count, Some(n) if self.delivered >= n)
+    }
+}
+
+/// A pair tracked at an end-node between link delivery and confirmation.
+#[derive(Clone, Debug)]
+pub(crate) struct InTransit {
+    pub request: RequestId,
+    pub pair: PairRef,
+    /// Epoch stamped on the head-originated TRACK (head-end only).
+    pub epoch: Epoch,
+    pub delivered_early: bool,
+    /// MEASURE bookkeeping: outcome arrives asynchronously.
+    pub awaiting_measure: bool,
+    pub measure_outcome: Option<bool>,
+    /// TRACK that arrived before the measurement outcome.
+    pub pending_track: Option<Track>,
+}
+
+/// End-node (head or tail) circuit state.
+#[derive(Debug)]
+pub(crate) struct EndpointState {
+    pub is_head: bool,
+    pub requests: BTreeMap<RequestId, ReqState>,
+    pub demux: SymmetricDemux,
+    pub in_transit: HashMap<Correlator, InTransit>,
+    /// Head-end only: admission control and bandwidth bookkeeping.
+    pub policer: Policer,
+    /// Whether the circuit's link request is live on our single link.
+    pub link_submitted: bool,
+    /// Discard records for link pairs this end could not assign to any
+    /// request: when the peer's TRACK for such a chain arrives, it is
+    /// answered with an EXPIRE so the peer's qubit is freed (the
+    /// end-node analogue of the repeater's discard records; without it a
+    /// timing window leaks an `assigned` slot at the peer forever).
+    pub discard_records: HashSet<Correlator>,
+    /// FIFO of discard records for bounded eviction.
+    pub discard_order: VecDeque<Correlator>,
+}
+
+/// A pair queued at a repeater awaiting its matching pair.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PendingPair {
+    pub pair: PairRef,
+    pub announced: BellState,
+}
+
+/// Swap record (paper §4.1 "Swap records"): logged when a swap completes
+/// before the corresponding TRACK arrives.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SwapRecord {
+    /// The pair continuing the chain on the other link.
+    pub other: PendingPair,
+    /// The two-bit announced swap outcome.
+    pub outcome: BellState,
+}
+
+/// Intermediate-node circuit state.
+#[derive(Debug, Default)]
+pub(crate) struct MidState {
+    /// FIFO of unswapped pairs on the upstream link (oldest first — the
+    /// evaluation's "prefer the oldest unexpired pairs").
+    pub up_queue: VecDeque<PendingPair>,
+    pub down_queue: VecDeque<PendingPair>,
+    /// The swap currently executing, if any (one processor per node).
+    pub swapping: Option<(PendingPair, PendingPair)>,
+    /// TRACKs waiting for their pair's swap, keyed by the local pair
+    /// correlator on the respective link.
+    pub up_track: HashMap<Correlator, Track>,
+    pub down_track: HashMap<Correlator, Track>,
+    /// Swap records waiting for their TRACK.
+    pub up_record: HashMap<Correlator, SwapRecord>,
+    pub down_record: HashMap<Correlator, SwapRecord>,
+    /// Discard records (paper: "temporary discard record") for qubits
+    /// dropped by the cutoff before their TRACK arrived.
+    pub up_expired: HashSet<Correlator>,
+    pub down_expired: HashSet<Correlator>,
+    /// Requests currently active on the circuit (from FORWARD/COMPLETE).
+    pub active_requests: u64,
+    pub link_submitted: bool,
+}
+
+/// Per-circuit state at one node.
+#[derive(Debug)]
+pub(crate) enum CircuitState {
+    Endpoint(EndpointState),
+    Mid(MidState),
+}
+
+pub(crate) struct Circuit {
+    /// The node this circuit state lives on (for delivery addresses).
+    pub node: qn_sim::NodeId,
+    pub entry: RoutingEntry,
+    pub state: CircuitState,
+}
+
+/// The QNP protocol instance at one node.
+pub struct QnpNode {
+    node: qn_sim::NodeId,
+    pub(crate) circuits: HashMap<u64, Circuit>,
+}
+
+impl QnpNode {
+    /// A node with no circuits installed.
+    pub fn new(node: qn_sim::NodeId) -> Self {
+        QnpNode {
+            node,
+            circuits: HashMap::new(),
+        }
+    }
+
+    /// This node's identity.
+    pub fn node(&self) -> qn_sim::NodeId {
+        self.node
+    }
+
+    /// Whether a circuit is installed.
+    pub fn has_circuit(&self, circuit: CircuitId) -> bool {
+        self.circuits.contains_key(&circuit.0)
+    }
+
+    /// The node's role on a circuit, if installed.
+    pub fn role(&self, circuit: CircuitId) -> Option<Role> {
+        self.circuits.get(&circuit.0).map(|c| c.entry.role())
+    }
+
+    /// Handle one input, producing the effects for the runtime.
+    pub fn handle(&mut self, input: NetInput) -> Vec<NetOutput> {
+        let mut out = Vec::new();
+        match input {
+            NetInput::InstallCircuit { entry } => {
+                let state = match entry.role() {
+                    Role::HeadEnd => CircuitState::Endpoint(EndpointState {
+                        is_head: true,
+                        requests: BTreeMap::new(),
+                        demux: SymmetricDemux::new(),
+                        in_transit: HashMap::new(),
+                        policer: Policer::new(entry.max_eer),
+                        link_submitted: false,
+                        discard_records: HashSet::new(),
+                        discard_order: VecDeque::new(),
+                    }),
+                    Role::TailEnd => CircuitState::Endpoint(EndpointState {
+                        is_head: false,
+                        requests: BTreeMap::new(),
+                        demux: SymmetricDemux::new(),
+                        in_transit: HashMap::new(),
+                        policer: Policer::new(entry.max_eer),
+                        link_submitted: false,
+                        discard_records: HashSet::new(),
+                        discard_order: VecDeque::new(),
+                    }),
+                    Role::Intermediate => CircuitState::Mid(MidState::default()),
+                };
+                self.circuits.insert(
+                    entry.circuit.0,
+                    Circuit {
+                        node: self.node,
+                        entry,
+                        state,
+                    },
+                );
+            }
+            NetInput::TeardownCircuit { circuit } => {
+                if let Some(c) = self.circuits.remove(&circuit.0) {
+                    crate::rules::teardown(circuit, c, &mut out);
+                }
+            }
+            NetInput::UserRequest { circuit, request } => {
+                if let Some(c) = self.circuits.get_mut(&circuit.0) {
+                    crate::rules::endpoint::user_request(circuit, c, request, &mut out);
+                }
+            }
+            NetInput::CancelRequest { circuit, request } => {
+                if let Some(c) = self.circuits.get_mut(&circuit.0) {
+                    crate::rules::endpoint::cancel_request(circuit, c, request, &mut out);
+                }
+            }
+            NetInput::LinkPair {
+                circuit,
+                side,
+                info,
+            } => {
+                if let Some(c) = self.circuits.get_mut(&circuit.0) {
+                    match &mut c.state {
+                        CircuitState::Endpoint(_) => {
+                            crate::rules::endpoint::link_rule(circuit, c, info, &mut out)
+                        }
+                        CircuitState::Mid(_) => {
+                            crate::rules::repeater::link_rule(c, side, info, &mut out)
+                        }
+                    }
+                }
+            }
+            NetInput::Message { from_upstream, msg } => {
+                let circuit = msg.circuit();
+                if let Some(c) = self.circuits.get_mut(&circuit.0) {
+                    crate::rules::dispatch_message(circuit, c, from_upstream, msg, &mut out);
+                }
+            }
+            NetInput::SwapCompleted {
+                circuit,
+                up,
+                down,
+                outcome,
+                new_handle,
+            } => {
+                if let Some(c) = self.circuits.get_mut(&circuit.0) {
+                    crate::rules::repeater::swap_completed(
+                        c, up, down, outcome, new_handle, &mut out,
+                    );
+                }
+            }
+            NetInput::MeasureCompleted {
+                circuit,
+                correlator,
+                outcome,
+            } => {
+                if let Some(c) = self.circuits.get_mut(&circuit.0) {
+                    crate::rules::endpoint::measure_completed(
+                        circuit, c, correlator, outcome, &mut out,
+                    );
+                }
+            }
+            NetInput::CutoffExpired {
+                circuit,
+                side,
+                correlator,
+            } => {
+                if let Some(c) = self.circuits.get_mut(&circuit.0) {
+                    crate::rules::repeater::cutoff_expired(c, side, correlator, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Test/diagnostic access: number of in-transit pairs at an end-node.
+    pub fn in_transit_len(&self, circuit: CircuitId) -> usize {
+        match self.circuits.get(&circuit.0).map(|c| &c.state) {
+            Some(CircuitState::Endpoint(ep)) => ep.in_transit.len(),
+            _ => 0,
+        }
+    }
+
+    /// Test/diagnostic access: queued unswapped pairs at a repeater
+    /// (upstream, downstream).
+    pub fn queued_pairs(&self, circuit: CircuitId) -> (usize, usize) {
+        match self.circuits.get(&circuit.0).map(|c| &c.state) {
+            Some(CircuitState::Mid(m)) => (m.up_queue.len(), m.down_queue.len()),
+            _ => (0, 0),
+        }
+    }
+
+    /// Test/diagnostic access: delivered count of a request at this end.
+    pub fn delivered(&self, circuit: CircuitId, request: RequestId) -> u64 {
+        match self.circuits.get(&circuit.0).map(|c| &c.state) {
+            Some(CircuitState::Endpoint(ep)) => {
+                ep.requests.get(&request).map(|r| r.delivered).unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+}

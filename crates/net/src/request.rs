@@ -1,0 +1,220 @@
+//! User-facing request model: the network layer service of paper §3.2.
+
+use crate::ids::{Address, RequestId};
+use qn_quantum::bell::BellState;
+use qn_quantum::gates::Pauli;
+use qn_sim::SimDuration;
+
+/// When the delivered pair is consumed (FORWARD's `request_type`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RequestType {
+    /// Deliver once creation is confirmed by tracking (default).
+    Keep,
+    /// Deliver the qubit as soon as it is available at the end-node; the
+    /// application takes over error handling (paper §4.1 "Early
+    /// delivery").
+    Early,
+    /// Measure immediately in the given basis; withhold the outcome until
+    /// tracking confirms the pair.
+    Measure(Pauli),
+}
+
+/// The "class of service: time" of §3.2.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Demand {
+    /// Measure-directly (i): `N` pairs by deadline `T` (`None` = no
+    /// deadline).
+    Pairs {
+        /// Number of pairs requested.
+        n: u64,
+        /// Optional deadline.
+        deadline: Option<SimDuration>,
+    },
+    /// Measure-directly (ii): a rate of `R` pairs per unit time, until
+    /// cancelled.
+    Rate {
+        /// Requested pairs per second.
+        pairs_per_sec: f64,
+    },
+    /// Create-and-keep: `N` pairs by deadline `T`, the last at most `Δt`
+    /// after the first.
+    CreateAndKeep {
+        /// Number of pairs requested.
+        n: u64,
+        /// Optional deadline.
+        deadline: Option<SimDuration>,
+        /// Maximum spread between first and last delivery.
+        max_spread: SimDuration,
+    },
+}
+
+impl Demand {
+    /// The request's minimum end-to-end rate (EER) in pairs per second,
+    /// used for policing and shaping (paper §4.1: "measure directly:
+    /// N/T, R, or 0 if T not set; create and keep: N/Δt").
+    pub fn min_eer(&self) -> f64 {
+        match self {
+            Demand::Pairs { n, deadline } => match deadline {
+                Some(t) if t.as_secs_f64() > 0.0 => *n as f64 / t.as_secs_f64(),
+                _ => 0.0,
+            },
+            Demand::Rate { pairs_per_sec } => *pairs_per_sec,
+            Demand::CreateAndKeep { n, max_spread, .. } => {
+                if max_spread.as_secs_f64() > 0.0 && !max_spread.is_infinite() {
+                    *n as f64 / max_spread.as_secs_f64()
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Total pairs, if bounded.
+    pub fn count(&self) -> Option<u64> {
+        match self {
+            Demand::Pairs { n, .. } | Demand::CreateAndKeep { n, .. } => Some(*n),
+            Demand::Rate { .. } => None,
+        }
+    }
+}
+
+/// A request submitted by an application to the head-end node.
+#[derive(Clone, Copy, Debug)]
+pub struct UserRequest {
+    /// Application-chosen request id (unique per address pair).
+    pub id: RequestId,
+    /// End-point at the head-end node.
+    pub head: Address,
+    /// End-point at the tail-end node.
+    pub tail: Address,
+    /// Minimum end-to-end fidelity threshold `F`.
+    pub min_fidelity: f64,
+    /// Pairs / rate / create-and-keep demand.
+    pub demand: Demand,
+    /// Consumption mode.
+    pub request_type: RequestType,
+    /// If set, deliver pairs in this particular Bell state (the head-end
+    /// performs the Pauli correction; unavailable for EARLY requests).
+    pub final_state: Option<BellState>,
+}
+
+impl UserRequest {
+    /// Validate structural constraints (paper: EARLY requests cannot ask
+    /// for a final-state correction, since the qubit leaves the QNP's
+    /// hands before tracking completes).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if matches!(self.request_type, RequestType::Early) && self.final_state.is_some() {
+            return Err("final_state is unavailable for EARLY requests");
+        }
+        if !(0.0..=1.0).contains(&self.min_fidelity) {
+            return Err("fidelity threshold must be within [0, 1]");
+        }
+        if let Demand::Rate { pairs_per_sec } = self.demand {
+            if !(pairs_per_sec.is_finite() && pairs_per_sec > 0.0) {
+                return Err("rate must be positive and finite");
+            }
+        }
+        if self.demand.count() == Some(0) {
+            return Err("request for zero pairs");
+        }
+        Ok(())
+    }
+
+    /// Whether this request contributes a fixed rate (used by the LPR
+    /// scaling rule of §4.1 "Continuous link generation").
+    pub fn is_rate_based(&self) -> bool {
+        matches!(self.demand, Demand::Rate { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_sim::NodeId;
+
+    fn base() -> UserRequest {
+        UserRequest {
+            id: RequestId(1),
+            head: Address {
+                node: NodeId(0),
+                identifier: 1,
+            },
+            tail: Address {
+                node: NodeId(3),
+                identifier: 1,
+            },
+            min_fidelity: 0.8,
+            demand: Demand::Pairs {
+                n: 10,
+                deadline: None,
+            },
+            request_type: RequestType::Keep,
+            final_state: None,
+        }
+    }
+
+    #[test]
+    fn eer_rules_match_paper() {
+        // N pairs with deadline T: N/T.
+        let d = Demand::Pairs {
+            n: 10,
+            deadline: Some(SimDuration::from_secs(5)),
+        };
+        assert!((d.min_eer() - 2.0).abs() < 1e-12);
+        // No deadline: 0.
+        let d = Demand::Pairs {
+            n: 10,
+            deadline: None,
+        };
+        assert_eq!(d.min_eer(), 0.0);
+        // Rate: R.
+        let d = Demand::Rate { pairs_per_sec: 3.5 };
+        assert!((d.min_eer() - 3.5).abs() < 1e-12);
+        // Create-and-keep: N/Δt.
+        let d = Demand::CreateAndKeep {
+            n: 4,
+            deadline: None,
+            max_spread: SimDuration::from_secs(2),
+        };
+        assert!((d.min_eer() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_with_final_state_invalid() {
+        let mut r = base();
+        r.request_type = RequestType::Early;
+        r.final_state = Some(BellState::PHI_PLUS);
+        assert!(r.validate().is_err());
+        r.final_state = None;
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_pairs_invalid() {
+        let mut r = base();
+        r.demand = Demand::Pairs {
+            n: 0,
+            deadline: None,
+        };
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn bad_rate_invalid() {
+        let mut r = base();
+        r.demand = Demand::Rate { pairs_per_sec: 0.0 };
+        assert!(r.validate().is_err());
+        r.demand = Demand::Rate {
+            pairs_per_sec: f64::INFINITY,
+        };
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn measure_requests_are_valid() {
+        let mut r = base();
+        r.request_type = RequestType::Measure(Pauli::X);
+        assert!(r.validate().is_ok());
+        assert!(!r.is_rate_based());
+    }
+}

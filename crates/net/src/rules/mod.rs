@@ -1,0 +1,97 @@
+//! The QNP rule implementations (Appendix C.3).
+//!
+//! * [`endpoint`] — head-end rules (Algorithms 1–3) and tail-end rules
+//!   (Algorithms 4–6), which differ only in the head-end's management
+//!   duties (policing, epochs, FORWARD/COMPLETE origination, Pauli
+//!   correction);
+//! * [`repeater`] — intermediate-node rules (Algorithms 7–9): swap
+//!   scheduling, swap records, entanglement-tracking relay, cutoff
+//!   discards and discard records.
+
+pub mod endpoint;
+pub mod repeater;
+
+use crate::events::{AppEvent, NetOutput};
+use crate::ids::CircuitId;
+use crate::messages::Message;
+use crate::node::{Circuit, CircuitState};
+
+/// Route an incoming message to the right rule for this node's role.
+pub(crate) fn dispatch_message(
+    circuit: CircuitId,
+    c: &mut Circuit,
+    from_upstream: bool,
+    msg: Message,
+    out: &mut Vec<NetOutput>,
+) {
+    match (&mut c.state, msg) {
+        (CircuitState::Endpoint(_), Message::Track(t)) => {
+            endpoint::track_rule(circuit, c, t, out);
+        }
+        (CircuitState::Endpoint(_), Message::Expire(e)) => {
+            endpoint::expire_rule(c, e, out);
+        }
+        (CircuitState::Endpoint(_), Message::Forward(f)) => {
+            endpoint::on_forward(c, f, out);
+        }
+        (CircuitState::Endpoint(_), Message::Complete(m)) => {
+            endpoint::on_complete(c, m, out);
+        }
+        (CircuitState::Mid(_), Message::Track(t)) => {
+            repeater::track_rule(c, from_upstream, t, out);
+        }
+        (CircuitState::Mid(_), Message::Expire(e)) => {
+            // Intermediate nodes relay EXPIRE along the circuit towards
+            // the TRACK's origin end-node.
+            if from_upstream {
+                out.push(NetOutput::SendDownstream(Message::Expire(e)));
+            } else {
+                out.push(NetOutput::SendUpstream(Message::Expire(e)));
+            }
+        }
+        (CircuitState::Mid(_), Message::Forward(f)) => {
+            repeater::on_forward(c, f, out);
+        }
+        (CircuitState::Mid(_), Message::Complete(m)) => {
+            repeater::on_complete(c, m, out);
+        }
+    }
+}
+
+/// Tear down a circuit at this node: release pairs, stop link requests,
+/// notify applications (endpoint only).
+pub(crate) fn teardown(circuit: CircuitId, c: Circuit, out: &mut Vec<NetOutput>) {
+    match c.state {
+        CircuitState::Endpoint(ep) => {
+            for (_, it) in ep.in_transit {
+                if it.delivered_early {
+                    out.push(NetOutput::Notify(AppEvent::EarlyPairExpired {
+                        request: it.request,
+                        pair: it.pair,
+                    }));
+                } else {
+                    out.push(NetOutput::DiscardPair { pair: it.pair });
+                }
+            }
+            if ep.link_submitted {
+                let (side, label) = endpoint::own_link(&c.entry);
+                out.push(NetOutput::LinkStop { side, label });
+            }
+            out.push(NetOutput::Notify(AppEvent::CircuitDown(circuit)));
+        }
+        CircuitState::Mid(mid) => {
+            for p in mid.up_queue.iter().chain(mid.down_queue.iter()) {
+                out.push(NetOutput::CancelCutoff { pair: p.pair });
+                out.push(NetOutput::DiscardPair { pair: p.pair });
+            }
+            if mid.link_submitted {
+                if let Some(down) = &c.entry.downstream {
+                    out.push(NetOutput::LinkStop {
+                        side: crate::routing_table::LinkSide::Downstream,
+                        label: down.label,
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Intermediate-node (repeater) rules: Algorithms 7–9 of Appendix C.
+//!
+//! The repeater's job: swap pairs "as soon as pairs with labels for the
+//! same VC are available on the upstream and downstream links", log swap
+//! records, relay TRACK messages (rewriting their `link` correlator and
+//! folding in the swap outcome), and discard pairs whose cutoff timer
+//! pops — logging discard records so late TRACKs convert into EXPIREs.
+//!
+//! One deliberate deviation from the paper's pseudocode: Algorithm 7 says
+//! "Clear **all** upstream_expire_record contents" after forwarding a
+//! TRACK. Clearing all records would break chains whose discard record is
+//! still waiting for its own TRACK, so we clear only the record that was
+//! consumed (a strictly safer reading of the same mechanism).
+
+use crate::events::{NetOutput, PairInfo};
+use crate::ids::{Correlator, PairHandle};
+use crate::messages::{Complete, Expire, Forward, Message, Track};
+use crate::node::{Circuit, CircuitState, MidState, PendingPair, SwapRecord};
+use crate::policing::link_weight;
+use crate::routing_table::LinkSide;
+use qn_quantum::bell::BellState;
+
+fn mid(c: &mut Circuit) -> &mut MidState {
+    match &mut c.state {
+        CircuitState::Mid(m) => m,
+        CircuitState::Endpoint(_) => panic!("repeater rule on endpoint"),
+    }
+}
+
+/// Start a swap if both queues have a pair and no swap is running
+/// (repeaters have one quantum processor).
+fn try_start_swap(m: &mut MidState, out: &mut Vec<NetOutput>) {
+    if m.swapping.is_some() || m.up_queue.is_empty() || m.down_queue.is_empty() {
+        return;
+    }
+    // Oldest unexpired pairs first (paper §5 scheduling policy).
+    let up = m.up_queue.pop_front().expect("checked");
+    let down = m.down_queue.pop_front().expect("checked");
+    out.push(NetOutput::CancelCutoff { pair: up.pair });
+    out.push(NetOutput::CancelCutoff { pair: down.pair });
+    out.push(NetOutput::StartSwap {
+        up: up.pair,
+        down: down.pair,
+    });
+    m.swapping = Some((up, down));
+}
+
+/// LINK rule (Algorithm 7's entry condition): queue the fresh pair, arm
+/// its cutoff, and swap if a partner is available.
+pub(crate) fn link_rule(c: &mut Circuit, side: LinkSide, info: PairInfo, out: &mut Vec<NetOutput>) {
+    let cutoff = c.entry.cutoff;
+    let m = mid(c);
+    let pending = PendingPair {
+        pair: info.pair,
+        announced: info.announced,
+    };
+    if !cutoff.is_infinite() {
+        out.push(NetOutput::SetCutoff {
+            pair: info.pair,
+            side,
+            after: cutoff,
+        });
+    }
+    match side {
+        LinkSide::Upstream => m.up_queue.push_back(pending),
+        LinkSide::Downstream => m.down_queue.push_back(pending),
+    }
+    try_start_swap(m, out);
+}
+
+/// Swap completion (Algorithm 7 body): log records or forward waiting
+/// TRACKs in both directions, then look for more work.
+pub(crate) fn swap_completed(
+    c: &mut Circuit,
+    up: Correlator,
+    down: Correlator,
+    outcome: BellState,
+    new_handle: PairHandle,
+    out: &mut Vec<NetOutput>,
+) {
+    let m = mid(c);
+    let Some((up_pair, down_pair)) = m.swapping.take() else {
+        debug_assert!(false, "swap completion without in-flight swap");
+        return;
+    };
+    debug_assert_eq!(up_pair.pair.correlator, up);
+    debug_assert_eq!(down_pair.pair.correlator, down);
+    let _ = new_handle; // the joined pair's ends live at other nodes
+
+    // Downstream-travelling TRACK waiting on the upstream pair?
+    if let Some(mut track) = m.up_track.remove(&up) {
+        track.link = down_pair.pair.correlator;
+        track.outcome_state = track.outcome_state.combine(down_pair.announced, outcome);
+        out.push(NetOutput::SendDownstream(Message::Track(track)));
+    } else {
+        m.up_record.insert(
+            up,
+            SwapRecord {
+                other: down_pair,
+                outcome,
+            },
+        );
+    }
+
+    // Upstream-travelling TRACK waiting on the downstream pair?
+    if let Some(mut track) = m.down_track.remove(&down) {
+        track.link = up_pair.pair.correlator;
+        track.outcome_state = track.outcome_state.combine(up_pair.announced, outcome);
+        out.push(NetOutput::SendUpstream(Message::Track(track)));
+    } else {
+        m.down_record.insert(
+            down,
+            SwapRecord {
+                other: up_pair,
+                outcome,
+            },
+        );
+    }
+
+    try_start_swap(m, out);
+}
+
+/// TRACK rule (Algorithm 8).
+pub(crate) fn track_rule(
+    c: &mut Circuit,
+    from_upstream: bool,
+    mut track: Track,
+    out: &mut Vec<NetOutput>,
+) {
+    let m = mid(c);
+    if from_upstream {
+        // Head-originated TRACK travelling downstream; keyed by our
+        // upstream-link pair.
+        if let Some(rec) = m.up_record.remove(&track.link) {
+            track.link = rec.other.pair.correlator;
+            track.outcome_state = track
+                .outcome_state
+                .combine(rec.other.announced, rec.outcome);
+            out.push(NetOutput::SendDownstream(Message::Track(track)));
+        } else if m.up_expired.remove(&track.link) {
+            out.push(NetOutput::SendUpstream(Message::Expire(Expire {
+                circuit: track.circuit,
+                origin: track.origin,
+            })));
+        } else {
+            m.up_track.insert(track.link, track);
+        }
+    } else {
+        // Tail-originated TRACK travelling upstream; keyed by our
+        // downstream-link pair.
+        if let Some(rec) = m.down_record.remove(&track.link) {
+            track.link = rec.other.pair.correlator;
+            track.outcome_state = track
+                .outcome_state
+                .combine(rec.other.announced, rec.outcome);
+            out.push(NetOutput::SendUpstream(Message::Track(track)));
+        } else if m.down_expired.remove(&track.link) {
+            out.push(NetOutput::SendDownstream(Message::Expire(Expire {
+                circuit: track.circuit,
+                origin: track.origin,
+            })));
+        } else {
+            m.down_track.insert(track.link, track);
+        }
+    }
+}
+
+/// Cutoff expiry rule (Algorithm 9): discard the idle pair; if its TRACK
+/// already arrived, bounce an EXPIRE back to the originating end-node,
+/// otherwise log a discard record.
+pub(crate) fn cutoff_expired(
+    c: &mut Circuit,
+    side: LinkSide,
+    correlator: Correlator,
+    out: &mut Vec<NetOutput>,
+) {
+    let circuit = c.entry.circuit;
+    let m = mid(c);
+    let queue = match side {
+        LinkSide::Upstream => &mut m.up_queue,
+        LinkSide::Downstream => &mut m.down_queue,
+    };
+    let Some(pos) = queue.iter().position(|p| p.pair.correlator == correlator) else {
+        // Already consumed by a swap (timer raced the cancel) — ignore.
+        return;
+    };
+    let pending = queue.remove(pos).expect("indexed");
+    out.push(NetOutput::DiscardPair { pair: pending.pair });
+
+    match side {
+        LinkSide::Upstream => {
+            if let Some(track) = m.up_track.remove(&correlator) {
+                out.push(NetOutput::SendUpstream(Message::Expire(Expire {
+                    circuit,
+                    origin: track.origin,
+                })));
+            } else {
+                m.up_expired.insert(correlator);
+            }
+        }
+        LinkSide::Downstream => {
+            if let Some(track) = m.down_track.remove(&correlator) {
+                out.push(NetOutput::SendDownstream(Message::Expire(Expire {
+                    circuit,
+                    origin: track.origin,
+                })));
+            } else {
+                m.down_expired.insert(correlator);
+            }
+        }
+    }
+}
+
+/// FORWARD at an intermediate node: manage the downstream link's
+/// generation and relay.
+pub(crate) fn on_forward(c: &mut Circuit, f: Forward, out: &mut Vec<NetOutput>) {
+    let entry = c.entry;
+    let m = mid(c);
+    m.active_requests += 1;
+    let down = entry
+        .downstream
+        .as_ref()
+        .expect("intermediate has downstream");
+    let weight = link_weight(down.max_lpr, entry.max_eer, f.rate);
+    if m.link_submitted {
+        out.push(NetOutput::LinkSetWeight {
+            side: LinkSide::Downstream,
+            label: down.label,
+            weight,
+        });
+    } else {
+        out.push(NetOutput::LinkSubmit {
+            side: LinkSide::Downstream,
+            label: down.label,
+            min_fidelity: down.min_fidelity,
+            weight,
+        });
+        m.link_submitted = true;
+    }
+    out.push(NetOutput::SendDownstream(Message::Forward(f)));
+}
+
+/// COMPLETE at an intermediate node: update or stop the downstream
+/// link's generation and relay.
+pub(crate) fn on_complete(c: &mut Circuit, msg: Complete, out: &mut Vec<NetOutput>) {
+    let entry = c.entry;
+    let m = mid(c);
+    m.active_requests = m.active_requests.saturating_sub(1);
+    let down = entry
+        .downstream
+        .as_ref()
+        .expect("intermediate has downstream");
+    if m.active_requests == 0 {
+        if m.link_submitted {
+            out.push(NetOutput::LinkStop {
+                side: LinkSide::Downstream,
+                label: down.label,
+            });
+            m.link_submitted = false;
+        }
+    } else {
+        out.push(NetOutput::LinkSetWeight {
+            side: LinkSide::Downstream,
+            label: down.label,
+            weight: link_weight(down.max_lpr, entry.max_eer, msg.rate),
+        });
+    }
+    out.push(NetOutput::SendDownstream(Message::Complete(msg)));
+}

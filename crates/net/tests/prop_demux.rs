@@ -1,0 +1,158 @@
+//! Property tests for the symmetric demultiplexer and the policer.
+
+use proptest::prelude::*;
+use qn_net::demux::SymmetricDemux;
+use qn_net::ids::RequestId;
+use qn_net::policing::Policer;
+use qn_net::request::{Demand, RequestType, UserRequest};
+use qn_net::Address;
+use qn_sim::NodeId;
+
+#[derive(Clone, Debug)]
+enum DemuxOp {
+    Add(u8),
+    Remove(u8),
+    ActivateLatest,
+    Next,
+}
+
+fn demux_op() -> impl Strategy<Value = DemuxOp> {
+    prop_oneof![
+        (0u8..8).prop_map(DemuxOp::Add),
+        (0u8..8).prop_map(DemuxOp::Remove),
+        Just(DemuxOp::ActivateLatest),
+        Just(DemuxOp::Next),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Two demultiplexers fed the same operation sequence stay in
+    /// lock-step — the symmetry property the protocol's cross-check
+    /// relies on.
+    #[test]
+    fn identical_histories_stay_synchronised(ops in proptest::collection::vec(demux_op(), 1..200)) {
+        let mut a = SymmetricDemux::new();
+        let mut b = SymmetricDemux::new();
+        for op in ops {
+            match op {
+                DemuxOp::Add(id) => {
+                    prop_assert_eq!(
+                        a.add_request(RequestId(id as u64)),
+                        b.add_request(RequestId(id as u64))
+                    );
+                }
+                DemuxOp::Remove(id) => {
+                    prop_assert_eq!(
+                        a.remove_request(RequestId(id as u64)),
+                        b.remove_request(RequestId(id as u64))
+                    );
+                }
+                DemuxOp::ActivateLatest => {
+                    let e = a.latest();
+                    a.activate(e);
+                    b.activate(e);
+                }
+                DemuxOp::Next => {
+                    prop_assert_eq!(a.next_request(), b.next_request());
+                }
+            }
+            prop_assert_eq!(a.active(), b.active());
+            prop_assert_eq!(a.active_set(), b.active_set());
+        }
+    }
+
+    /// The active set only ever contains requests that were added and
+    /// not yet removed *as of the active epoch*; assignments only name
+    /// active-set members.
+    #[test]
+    fn assignments_come_from_the_active_set(ops in proptest::collection::vec(demux_op(), 1..150)) {
+        let mut d = SymmetricDemux::new();
+        for op in ops {
+            match op {
+                DemuxOp::Add(id) => { d.add_request(RequestId(id as u64)); }
+                DemuxOp::Remove(id) => { d.remove_request(RequestId(id as u64)); }
+                DemuxOp::ActivateLatest => { let e = d.latest(); d.activate(e); }
+                DemuxOp::Next => {
+                    let set: Vec<_> = d.active_set().to_vec();
+                    if let Some(r) = d.next_request() {
+                        prop_assert!(set.contains(&r), "assigned {r} outside active set");
+                    } else {
+                        prop_assert!(set.is_empty());
+                    }
+                }
+            }
+            prop_assert!(d.active() <= d.latest());
+        }
+    }
+}
+
+fn rate_request(id: u64, rate: f64) -> UserRequest {
+    UserRequest {
+        id: RequestId(id),
+        head: Address {
+            node: NodeId(0),
+            identifier: 0,
+        },
+        tail: Address {
+            node: NodeId(1),
+            identifier: 0,
+        },
+        min_fidelity: 0.8,
+        demand: Demand::Rate {
+            pairs_per_sec: rate,
+        },
+        request_type: RequestType::Keep,
+        final_state: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Policer invariant: the sum of admitted EERs never exceeds the
+    /// circuit allocation, regardless of the admission/release sequence.
+    #[test]
+    fn admitted_bandwidth_never_exceeds_allocation(
+        max_eer in 1.0f64..50.0,
+        ops in proptest::collection::vec((0u8..3, 1u64..20, 1u32..200), 1..100),
+    ) {
+        let mut p = Policer::new(max_eer);
+        let mut next_id = 1000u64;
+        for (kind, id, rate_tenths) in ops {
+            let rate = rate_tenths as f64 / 10.0;
+            match kind {
+                0 => {
+                    next_id += 1;
+                    let req = rate_request(next_id, rate);
+                    match p.decide(&req) {
+                        qn_net::AdmitDecision::Accept => p.admit(&req),
+                        qn_net::AdmitDecision::Shape => p.shape(req),
+                        qn_net::AdmitDecision::Reject(_) => {
+                            prop_assert!(rate > max_eer + 1e-9);
+                        }
+                    }
+                }
+                1 => {
+                    p.release(RequestId(id));
+                    for r in p.admissible_shaped() {
+                        prop_assert!(r.demand.min_eer() <= max_eer + 1e-9);
+                    }
+                }
+                _ => {
+                    for r in p.admissible_shaped() {
+                        prop_assert!(r.demand.min_eer() <= max_eer + 1e-9);
+                    }
+                }
+            }
+            prop_assert!(
+                p.total_eer() <= max_eer + 1e-6,
+                "admitted {} over allocation {}",
+                p.total_eer(),
+                max_eer
+            );
+            prop_assert!(p.advertised_rate() <= max_eer + 1e-6);
+        }
+    }
+}

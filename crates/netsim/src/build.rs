@@ -1,0 +1,203 @@
+//! High-level simulation façade: build a network, install circuits, run
+//! scenarios, read metrics.
+
+use crate::app::AppHarness;
+use crate::runtime::{Ev, NetworkModel, RuntimeConfig};
+use qn_net::ids::{CircuitId, RequestId};
+use qn_net::request::UserRequest;
+use qn_routing::budget::CutoffPolicy;
+use qn_routing::controller::{CircuitPlan, Controller, PlanError};
+use qn_routing::signalling::Signaller;
+use qn_routing::topology::Topology;
+use qn_sim::{NodeId, RunOutcome, SimDuration, SimTime, Simulation, Trace};
+
+/// Builder for a [`NetSim`].
+pub struct NetworkBuilder {
+    topology: Topology,
+    seed: u64,
+    cfg: RuntimeConfig,
+}
+
+impl NetworkBuilder {
+    /// Start building over a topology.
+    pub fn new(topology: Topology) -> Self {
+        NetworkBuilder {
+            topology,
+            seed: 1,
+            cfg: RuntimeConfig::default(),
+        }
+    }
+
+    /// Set the run's RNG seed (same seed ⇒ identical run).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Per-hop classical processing delay.
+    pub fn processing_delay(mut self, d: SimDuration) -> Self {
+        self.cfg.processing_delay = d;
+        self
+    }
+
+    /// Inject extra per-hop message delay (Fig 10c sweep).
+    pub fn extra_message_delay(mut self, d: SimDuration) -> Self {
+        self.cfg.extra_message_delay = d;
+        self
+    }
+
+    /// Add uniform per-message jitter (the reliable transport still
+    /// delivers in order).
+    pub fn message_jitter(mut self, d: SimDuration) -> Self {
+        self.cfg.message_jitter = d;
+        self
+    }
+
+    /// Communication qubits per link per node (default 2, per the paper).
+    pub fn comm_per_link(mut self, n: usize) -> Self {
+        self.cfg.comm_per_link = n;
+        self
+    }
+
+    /// Near-term hardware mode: one shared electron per node plus
+    /// `carbons` storage qubits (Fig 11).
+    pub fn near_term(mut self, carbons: usize) -> Self {
+        self.cfg.near_term = true;
+        self.cfg.carbons = carbons;
+        self
+    }
+
+    /// Disable intermediate cutoffs (the Fig 10 oracle baseline).
+    pub fn disable_cutoff(mut self) -> Self {
+        self.cfg.disable_cutoff = true;
+        self
+    }
+
+    /// Record a human-readable protocol trace.
+    pub fn with_trace(mut self) -> Self {
+        self.cfg.trace = true;
+        self
+    }
+
+    /// Build the simulation.
+    pub fn build(self) -> NetSim {
+        let topology = self.topology.clone();
+        let model = NetworkModel::new(self.topology, self.seed, self.cfg);
+        NetSim {
+            sim: Simulation::new(model),
+            signaller: Signaller::new(),
+            topology,
+        }
+    }
+}
+
+/// A ready-to-run network simulation.
+pub struct NetSim {
+    sim: Simulation<NetworkModel>,
+    signaller: Signaller,
+    topology: Topology,
+}
+
+impl NetSim {
+    /// Plan and install a circuit between two end-nodes at the given
+    /// end-to-end fidelity, using the controller with `cutoff` policy.
+    pub fn open_circuit(
+        &mut self,
+        head: NodeId,
+        tail: NodeId,
+        fidelity: f64,
+        cutoff: CutoffPolicy,
+    ) -> Result<CircuitId, PlanError> {
+        let plan = Controller::new(&self.topology, cutoff).plan(head, tail, fidelity)?;
+        Ok(self.install_plan(plan))
+    }
+
+    /// Install a circuit from an explicit plan (e.g. hand-tuned routing
+    /// tables, as the paper does for Fig 11).
+    pub fn install_plan(&mut self, plan: CircuitPlan) -> CircuitId {
+        let installed = self.signaller.install(&self.topology, plan);
+        self.sim.model_mut().install_circuit(&installed);
+        installed.circuit
+    }
+
+    /// Schedule an application request submission at an absolute time.
+    pub fn submit_at(&mut self, at: SimTime, circuit: CircuitId, request: UserRequest) {
+        self.sim
+            .schedule_at(at, Ev::SubmitRequest { circuit, request });
+    }
+
+    /// Schedule a request cancellation at an absolute time.
+    pub fn cancel_at(&mut self, at: SimTime, circuit: CircuitId, request: RequestId) {
+        self.sim
+            .schedule_at(at, Ev::CancelRequest { circuit, request });
+    }
+
+    /// Schedule a circuit teardown (loss of classical connectivity or
+    /// operator action): the QNP aborts outstanding requests and
+    /// notifies applications, per §4.1 "Classical communication and link
+    /// reliability".
+    pub fn close_circuit_at(&mut self, at: SimTime, circuit: CircuitId) {
+        self.signaller.teardown(circuit);
+        self.sim.schedule_at(at, Ev::Teardown { circuit });
+    }
+
+    /// Run until `horizon` (or quiescence).
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.sim.run_until(horizon)
+    }
+
+    /// Run until no events remain.
+    pub fn run(&mut self) -> RunOutcome {
+        self.sim.run()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Application observations.
+    pub fn app(&self) -> &AppHarness {
+        &self.sim.model().app
+    }
+
+    /// The recorded trace (enable with [`NetworkBuilder::with_trace`]).
+    pub fn trace(&self) -> &Trace {
+        &self.sim.model().trace
+    }
+
+    /// Protocol-vs-omniscient Bell-state mismatches observed (readout
+    /// errors make a small number expected on noisy hardware).
+    pub fn state_mismatches(&self) -> u64 {
+        self.sim.model().state_mismatches
+    }
+
+    /// Total pairs released unused (cutoff discards, cross-check
+    /// failures, surplus generation).
+    pub fn discarded_pairs(&self) -> u64 {
+        self.sim.model().discarded_pairs
+    }
+
+    /// Number of live entangled pairs (diagnostics).
+    pub fn live_pairs(&self) -> usize {
+        self.sim.model().pairs.len()
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.processed()
+    }
+
+    /// Direct access to the model (examples and advanced tests).
+    pub fn model_mut(&mut self) -> &mut NetworkModel {
+        self.sim.model_mut()
+    }
+
+    /// The circuit plan metadata installed for `circuit`.
+    pub fn installed(
+        &self,
+        circuit: CircuitId,
+    ) -> Option<&qn_routing::signalling::InstalledCircuit> {
+        self.signaller.circuit(circuit)
+    }
+}

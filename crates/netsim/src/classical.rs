@@ -1,0 +1,154 @@
+//! Classical control-message channels.
+//!
+//! The paper (§4.1 "Classical communication and link reliability")
+//! requires that "all control messages are transmitted reliably and in
+//! order", provided in practice by per-hop TCP/QUIC connections. This
+//! module models that contract:
+//!
+//! * per-hop delay = fibre propagation + processing (+ the injectable
+//!   extra delay of Fig 10c, + optional jitter);
+//! * **in-order delivery per direction of each hop** even when jitter
+//!   would reorder packets — exactly what a reliable byte stream gives:
+//!   a delayed early message holds back later ones.
+
+use qn_sim::{NodeId, SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
+
+/// Delay model of one hop.
+#[derive(Clone, Copy, Debug)]
+pub struct ChannelModel {
+    /// Fibre propagation delay.
+    pub propagation: SimDuration,
+    /// Fixed processing delay at the receiver.
+    pub processing: SimDuration,
+    /// Injected extra delay (the Fig 10c sweep knob).
+    pub extra: SimDuration,
+    /// Uniform jitter bound: each message gains `U[0, jitter)` of extra
+    /// latency (the reliable stream still delivers in order).
+    pub jitter: SimDuration,
+}
+
+impl ChannelModel {
+    /// Sample the raw latency of one message.
+    pub fn sample_latency(&self, rng: &mut SimRng) -> SimDuration {
+        let base = self.propagation + self.processing + self.extra;
+        if self.jitter == SimDuration::ZERO {
+            base
+        } else {
+            base + SimDuration::from_ps(rng.below(self.jitter.as_ps().max(1)))
+        }
+    }
+}
+
+/// Enforces the reliable in-order contract across all directed node
+/// pairs: delivery times per `(from, to)` are monotonically
+/// non-decreasing, whatever the sampled latencies.
+#[derive(Default)]
+pub struct ReliableDelivery {
+    last_delivery: HashMap<(NodeId, NodeId), SimTime>,
+}
+
+impl ReliableDelivery {
+    /// New tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compute the delivery time of a message sent `from → to` at `now`
+    /// with the given sampled latency, clamped so it never undercuts a
+    /// previously scheduled delivery on the same directed hop (a reliable
+    /// stream cannot reorder).
+    pub fn schedule(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        now: SimTime,
+        latency: SimDuration,
+    ) -> SimTime {
+        let natural = now + latency;
+        let entry = self
+            .last_delivery
+            .entry((from, to))
+            .or_insert(SimTime::ZERO);
+        let at = natural.max(*entry);
+        *entry = at;
+        at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(jitter_us: u64) -> ChannelModel {
+        ChannelModel {
+            propagation: SimDuration::from_nanos(10),
+            processing: SimDuration::from_micros(5),
+            extra: SimDuration::ZERO,
+            jitter: SimDuration::from_micros(jitter_us),
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let m = model(0);
+        let mut rng = SimRng::from_seed(1);
+        let a = m.sample_latency(&mut rng);
+        let b = m.sample_latency(&mut rng);
+        assert_eq!(a, b);
+        assert_eq!(a, SimDuration::from_nanos(10) + SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn jitter_varies_but_is_bounded() {
+        let m = model(50);
+        let mut rng = SimRng::from_seed(2);
+        let base = SimDuration::from_nanos(10) + SimDuration::from_micros(5);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let l = m.sample_latency(&mut rng);
+            assert!(l >= base);
+            assert!(l < base + SimDuration::from_micros(50));
+            distinct.insert(l.as_ps());
+        }
+        assert!(distinct.len() > 10, "jitter should vary");
+    }
+
+    #[test]
+    fn in_order_delivery_under_reordering_latencies() {
+        let mut r = ReliableDelivery::new();
+        let (a, b) = (NodeId(0), NodeId(1));
+        // First message is slow; the second would naturally overtake it.
+        let t1 = r.schedule(a, b, SimTime::from_ps(0), SimDuration::from_micros(100));
+        let t2 = r.schedule(a, b, SimTime::from_ps(1), SimDuration::from_micros(1));
+        assert!(t2 >= t1, "reliable stream must not reorder: {t2} < {t1}");
+    }
+
+    #[test]
+    fn directions_and_hops_are_independent() {
+        let mut r = ReliableDelivery::new();
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        let slow = r.schedule(a, b, SimTime::ZERO, SimDuration::from_millis(10));
+        // Reverse direction is not held back.
+        let rev = r.schedule(b, a, SimTime::ZERO, SimDuration::from_micros(1));
+        assert!(rev < slow);
+        // A different hop is not held back.
+        let other = r.schedule(b, c, SimTime::ZERO, SimDuration::from_micros(1));
+        assert!(other < slow);
+    }
+
+    #[test]
+    fn monotone_across_many_messages() {
+        let mut r = ReliableDelivery::new();
+        let mut rng = SimRng::from_seed(3);
+        let m = model(200);
+        let mut last = SimTime::ZERO;
+        let mut now = SimTime::ZERO;
+        for i in 0..500 {
+            now += SimDuration::from_micros(i % 7);
+            let at = r.schedule(NodeId(0), NodeId(1), now, m.sample_latency(&mut rng));
+            assert!(at >= last);
+            last = at;
+        }
+    }
+}

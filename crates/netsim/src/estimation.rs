@@ -1,0 +1,213 @@
+//! Fidelity test rounds (paper §3.4 "Quality of service management" and
+//! §4.1 "Fidelity test rounds").
+//!
+//! "It is physically impossible for the protocol to peek or measure the
+//! delivered pairs to evaluate their fidelity. However, we need a
+//! mechanism to provide some confidence that the states delivered to the
+//! application are above the fidelity threshold. … the method relies on
+//! creating a number of pairs as test rounds which are then measured
+//! (and thus consumed). The statistics of the measurement outcomes can
+//! be used to estimate the fidelity of the non-test pairs."
+//!
+//! For a target Bell state `B(x,z)` the fidelity decomposes into the
+//! three two-qubit Pauli correlators:
+//!
+//! ```text
+//! F = ( 1 + s_X·⟨XX⟩ + s_Y·⟨YY⟩ + s_Z·⟨ZZ⟩ ) / 4
+//!     s_Z = (−1)^x,  s_X = (−1)^z,  s_Y = −(−1)^(x⊕z)
+//! ```
+//!
+//! so measuring batches of test pairs in the X, Y and Z bases (MEASURE
+//! requests) and comparing the outcomes at the two ends estimates `F`
+//! without any oracle access.
+
+use qn_quantum::bell::BellState;
+use qn_quantum::gates::Pauli;
+
+/// Accumulates test-round outcomes and produces a fidelity estimate.
+#[derive(Clone, Debug, Default)]
+pub struct FidelityEstimator {
+    /// Per-basis (agreements, rounds): indexed X=0, Y=1, Z=2.
+    counts: [(u64, u64); 3],
+}
+
+fn basis_index(basis: Pauli) -> usize {
+    match basis {
+        Pauli::X => 0,
+        Pauli::Y => 1,
+        Pauli::Z => 2,
+        Pauli::I => panic!("identity is not a measurement basis"),
+    }
+}
+
+/// The expected correlator sign of `basis` on the Bell state `state`.
+pub fn correlator_sign(state: BellState, basis: Pauli) -> f64 {
+    let (x, z) = (state.x, state.z);
+    let sign = match basis {
+        Pauli::Z => !x,
+        Pauli::X => !z,
+        Pauli::Y => x == z, // −(−1)^(x⊕z) > 0 iff x⊕z = 1 … inverted below
+        Pauli::I => panic!("identity is not a measurement basis"),
+    };
+    match basis {
+        Pauli::Y => {
+            if sign {
+                -1.0
+            } else {
+                1.0
+            }
+        }
+        _ => {
+            if sign {
+                1.0
+            } else {
+                -1.0
+            }
+        }
+    }
+}
+
+impl FidelityEstimator {
+    /// Empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one test round: both ends' outcomes in the same basis,
+    /// with the Bell state the network claims the pair was in. Outcomes
+    /// are first rotated into the Φ⁺ frame using the claimed state so
+    /// that rounds with different claimed states can be pooled.
+    pub fn record(&mut self, basis: Pauli, outcome_a: bool, outcome_b: bool, claimed: BellState) {
+        let idx = basis_index(basis);
+        // In the claimed frame, the expected correlator sign tells us
+        // whether agreement or disagreement is the "good" event.
+        let expect_agree = correlator_sign(claimed, basis) > 0.0;
+        let agree = outcome_a == outcome_b;
+        let good = agree == expect_agree;
+        self.counts[idx].1 += 1;
+        if good {
+            self.counts[idx].0 += 1;
+        }
+    }
+
+    /// Rounds recorded per basis (X, Y, Z).
+    pub fn rounds(&self) -> [u64; 3] {
+        [self.counts[0].1, self.counts[1].1, self.counts[2].1]
+    }
+
+    /// The estimated correlator magnitude for a basis: `2·p_good − 1`.
+    pub fn correlator(&self, basis: Pauli) -> Option<f64> {
+        let (good, total) = self.counts[basis_index(basis)];
+        if total == 0 {
+            None
+        } else {
+            Some(2.0 * good as f64 / total as f64 - 1.0)
+        }
+    }
+
+    /// The fidelity estimate; requires at least one round in each basis.
+    pub fn estimate(&self) -> Option<f64> {
+        let ex = self.correlator(Pauli::X)?;
+        let ey = self.correlator(Pauli::Y)?;
+        let ez = self.correlator(Pauli::Z)?;
+        Some(((1.0 + ex + ey + ez) / 4.0).clamp(0.0, 1.0))
+    }
+
+    /// Standard error of the estimate (binomial, independent bases).
+    pub fn std_err(&self) -> Option<f64> {
+        let mut var = 0.0;
+        for (good, total) in self.counts {
+            if total == 0 {
+                return None;
+            }
+            let p = good as f64 / total as f64;
+            // Var(2p̂−1) = 4 p(1−p)/n; the estimate averages 3 correlators /4.
+            var += 4.0 * p * (1.0 - p) / total as f64 / 16.0;
+        }
+        Some(var.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_quantum::measure::measure_pauli;
+    use qn_quantum::DensityMatrix;
+    use qn_sim::SimRng;
+
+    #[test]
+    fn correlator_signs_match_quantum_mechanics() {
+        // Compute ⟨B|σ⊗σ|B⟩ with the density-matrix engine and compare.
+        for state in BellState::ALL {
+            for basis in [Pauli::X, Pauli::Y, Pauli::Z] {
+                let rho = state.density();
+                let op = basis.matrix().kron(&basis.matrix());
+                let expectation = rho.expectation(&op);
+                let sign = correlator_sign(state, basis);
+                assert!(
+                    (expectation - sign).abs() < 1e-9,
+                    "{state} {basis:?}: qm {expectation} vs sign {sign}"
+                );
+            }
+        }
+    }
+
+    /// Sample test rounds from Werner states of known fidelity and check
+    /// the estimator converges to it.
+    #[test]
+    fn estimator_recovers_werner_fidelity() {
+        let f_true = 0.87;
+        let w = qn_quantum::formulas::werner_param(f_true);
+        let phi = BellState::PHI_PLUS.density();
+        let mixed = DensityMatrix::maximally_mixed(2);
+        let state =
+            DensityMatrix::from_matrix(&phi.matrix().scale(w) + &mixed.matrix().scale(1.0 - w));
+        let mut rng = SimRng::from_seed(5);
+        let mut est = FidelityEstimator::new();
+        for i in 0..6000 {
+            let basis = [Pauli::X, Pauli::Y, Pauli::Z][i % 3];
+            let mut rho = state.clone();
+            let a = measure_pauli(&mut rho, 0, basis, rng.f64());
+            let b = measure_pauli(&mut rho, 1, basis, rng.f64());
+            est.record(basis, a, b, BellState::PHI_PLUS);
+        }
+        let f_hat = est.estimate().unwrap();
+        let se = est.std_err().unwrap();
+        assert!(
+            (f_hat - f_true).abs() < 4.0 * se + 0.01,
+            "estimate {f_hat} ± {se} vs true {f_true}"
+        );
+    }
+
+    #[test]
+    fn pooling_across_claimed_frames_works() {
+        // Rounds on Ψ− pairs pool with rounds on Φ+ pairs when the
+        // claimed state is supplied.
+        let mut rng = SimRng::from_seed(9);
+        let mut est = FidelityEstimator::new();
+        for i in 0..3000 {
+            let claimed = BellState::from_index(i % 4);
+            let basis = [Pauli::X, Pauli::Y, Pauli::Z][i % 3];
+            let mut rho = claimed.density();
+            let a = measure_pauli(&mut rho, 0, basis, rng.f64());
+            let b = measure_pauli(&mut rho, 1, basis, rng.f64());
+            est.record(basis, a, b, claimed);
+        }
+        let f_hat = est.estimate().unwrap();
+        assert!(
+            (f_hat - 1.0).abs() < 1e-9,
+            "perfect pairs must estimate to 1: {f_hat}"
+        );
+    }
+
+    #[test]
+    fn needs_all_three_bases() {
+        let mut est = FidelityEstimator::new();
+        est.record(Pauli::Z, false, false, BellState::PHI_PLUS);
+        assert_eq!(est.estimate(), None);
+        est.record(Pauli::X, false, false, BellState::PHI_PLUS);
+        est.record(Pauli::Y, false, true, BellState::PHI_PLUS);
+        assert!(est.estimate().is_some());
+        assert_eq!(est.rounds(), [1, 1, 1]);
+    }
+}

@@ -1,0 +1,1126 @@
+//! The network simulation runtime: the discrete-event [`Model`] that
+//! wires the hardware substrate, the link layer and the QNP node state
+//! machines together.
+//!
+//! Responsibilities (everything the sans-IO cores delegate):
+//!
+//! * classical messaging — reliable, in-order, per-hop FIFO channels with
+//!   propagation + processing delay and Fig 10c's injectable extra delay;
+//! * link-pair generation — geometric fast-forward sampling of the
+//!   heralding process, qubit reservation at both ends (the Fig 8c
+//!   congestion mechanism), physical pair creation, nuclear dephasing of
+//!   stored qubits at the endpoint devices;
+//! * quantum operations — timed noisy swaps and measurements against the
+//!   [`PairStore`], cutoff timers, pair release bookkeeping;
+//! * near-term mode — single communication qubit per node with explicit
+//!   move-to-carbon-storage before a repeater can serve its second link
+//!   (Fig 11);
+//! * application accounting — the [`AppHarness`] with oracle annotations.
+
+use crate::app::{AppHarness, DeliveryRecord, Payload};
+use crate::classical::{ChannelModel, ReliableDelivery};
+use qn_hardware::device::{QDevice, QubitId};
+use qn_hardware::heralding::LinkPhysics;
+use qn_hardware::pairs::{PairId, PairStore, SwapNoise};
+use qn_link::{LinkEvent, LinkLabel, LinkProtocol, LinkRequest, PairDemand};
+use qn_net::events::{AppEvent, DeliveryKind, NetInput, NetOutput, PairInfo};
+use qn_net::ids::{CircuitId, Correlator, PairHandle, PairRef, RequestId};
+use qn_net::messages::Message;
+use qn_net::request::UserRequest;
+use qn_net::routing_table::LinkSide;
+use qn_net::QnpNode;
+use qn_quantum::gates::Pauli;
+use qn_routing::signalling::InstalledCircuit;
+use qn_routing::topology::Topology;
+use qn_sim::{
+    Context, EventId, LinkId, Model, NodeId, SimDuration, SimRng, SimTime, Trace, TraceKind,
+};
+use std::collections::HashMap;
+
+/// Runtime configuration knobs.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Per-hop message processing delay (on top of fibre propagation).
+    pub processing_delay: SimDuration,
+    /// Extra injected per-hop delay (Fig 10c sweep).
+    pub extra_message_delay: SimDuration,
+    /// Uniform per-message jitter bound (the reliable transport still
+    /// delivers in order).
+    pub message_jitter: SimDuration,
+    /// Communication qubits dedicated to each link at each node
+    /// (Appendix B: two in the main simulations).
+    pub comm_per_link: usize,
+    /// Near-term mode: one shared electron + carbon storage per node.
+    pub near_term: bool,
+    /// Carbon storage qubits per node (near-term mode).
+    pub carbons: usize,
+    /// Disable intermediate cutoff timers (the Fig 10 oracle baseline).
+    pub disable_cutoff: bool,
+    /// Record a human-readable trace.
+    pub trace: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            processing_delay: SimDuration::from_micros(5),
+            extra_message_delay: SimDuration::ZERO,
+            message_jitter: SimDuration::ZERO,
+            comm_per_link: 2,
+            near_term: false,
+            carbons: 0,
+            disable_cutoff: false,
+            trace: false,
+        }
+    }
+}
+
+/// The event alphabet of the network model.
+pub enum Ev {
+    /// A classical message arrives at a node.
+    MsgDeliver {
+        /// Receiving node.
+        to: NodeId,
+        /// Whether the sender is the receiver's upstream neighbour.
+        from_upstream: bool,
+        /// The message.
+        msg: Message,
+    },
+    /// A link generation process heralds success.
+    GenDone {
+        /// The link that succeeded.
+        link: LinkId,
+    },
+    /// A swap circuit finishes at a node.
+    ///
+    /// Pairs are referenced by correlator and resolved to physical pairs
+    /// at completion time: the neighbour at the other end of a link pair
+    /// may have swapped it meanwhile (its gates act on disjoint qubits,
+    /// so sequential application of the two swaps is exact).
+    SwapDone {
+        /// Swapping node.
+        node: NodeId,
+        /// Circuit of the swap.
+        circuit: CircuitId,
+        /// Correlator of the upstream pair.
+        up: Correlator,
+        /// Correlator of the downstream pair.
+        down: Correlator,
+    },
+    /// A readout finishes at a node.
+    MeasureDone {
+        /// Measuring node.
+        node: NodeId,
+        /// Circuit of the measured pair.
+        circuit: CircuitId,
+        /// The measured pair's correlator at this node.
+        correlator: Correlator,
+        /// Measurement basis.
+        basis: Pauli,
+    },
+    /// A cutoff timer fires.
+    Cutoff {
+        /// Node holding the pair.
+        node: NodeId,
+        /// Circuit of the pair.
+        circuit: CircuitId,
+        /// Which link the pair belongs to at this node.
+        side: LinkSide,
+        /// The pair's correlator.
+        correlator: Correlator,
+    },
+    /// A move-to-carbon-storage completes (near-term mode).
+    MoveDone {
+        /// Node performing the move.
+        node: NodeId,
+        /// The moved pair.
+        pair: PairId,
+        /// Destination storage qubit.
+        storage: QubitId,
+        /// The link whose pair is being stored (for the deferred
+        /// network-layer notification).
+        link: LinkId,
+        /// Deferred LinkPair info to deliver to the local QNP.
+        circuit: CircuitId,
+        /// Side of the circuit at this node.
+        side: LinkSide,
+        /// The pair announcement.
+        info: PairInfo,
+    },
+    /// Scenario hook: submit an application request at the head-end.
+    SubmitRequest {
+        /// Circuit to use.
+        circuit: CircuitId,
+        /// The request.
+        request: UserRequest,
+    },
+    /// Scenario hook: cancel a request at the head-end.
+    CancelRequest {
+        /// Circuit carrying the request.
+        circuit: CircuitId,
+        /// The request to cancel.
+        request: RequestId,
+    },
+    /// Scenario hook: tear the circuit down at every node (loss of
+    /// classical connectivity, operator action).
+    Teardown {
+        /// The circuit to remove.
+        circuit: CircuitId,
+    },
+}
+
+struct NodeRt {
+    qnp: QnpNode,
+    device: QDevice,
+}
+
+struct Inflight {
+    /// Retained for debugging visibility; the protocol tracks the label.
+    #[allow(dead_code)]
+    label: LinkLabel,
+    alpha: f64,
+    attempts: u64,
+    started: SimTime,
+    event: EventId,
+    qubit_a: (NodeId, QubitId),
+    qubit_b: (NodeId, QubitId),
+}
+
+struct LinkRt {
+    proto: LinkProtocol,
+    physics: LinkPhysics,
+    a: NodeId,
+    b: NodeId,
+    inflight: Option<Inflight>,
+}
+
+struct LabelInfo {
+    circuit: CircuitId,
+    /// The path-earlier node of this link (the circuit's upstream side).
+    upstream_node: NodeId,
+}
+
+struct CircuitRt {
+    path: Vec<NodeId>,
+    /// Fidelity target (for metrics only).
+    threshold: f64,
+    /// node -> (upstream neighbour, downstream neighbour).
+    neighbours: HashMap<NodeId, (Option<NodeId>, Option<NodeId>)>,
+}
+
+/// The complete network simulation model.
+pub struct NetworkModel {
+    topology: Topology,
+    cfg: RuntimeConfig,
+    nodes: Vec<NodeRt>,
+    links: Vec<LinkRt>,
+    /// All live entangled pairs.
+    pub pairs: PairStore,
+    /// (node, correlator) -> physical pair currently holding that qubit.
+    qubit_owner: HashMap<(NodeId, Correlator), PairId>,
+    /// Reverse references: pair -> (node, correlator) views.
+    refs: HashMap<PairId, Vec<(NodeId, Correlator)>>,
+    label_map: HashMap<(LinkId, LinkLabel), LabelInfo>,
+    circuits: HashMap<u64, CircuitRt>,
+    cutoff_events: HashMap<(NodeId, Correlator), EventId>,
+    /// Application observations.
+    pub app: AppHarness,
+    /// Trace recorder (enabled via config).
+    pub trace: Trace,
+    rng_links: Vec<SimRng>,
+    rng_nodes: Vec<SimRng>,
+    rng_msgs: SimRng,
+    transport: ReliableDelivery,
+    /// Diagnostics: protocol-vs-omniscient state mismatches observed.
+    pub state_mismatches: u64,
+    /// Diagnostics: pairs released before use.
+    pub discarded_pairs: u64,
+}
+
+impl NetworkModel {
+    /// Build the model over a topology with the given seed and config.
+    pub fn new(topology: Topology, seed: u64, cfg: RuntimeConfig) -> Self {
+        let node_ids = topology.nodes();
+        let n_nodes = node_ids.len();
+        assert_eq!(
+            node_ids.iter().map(|n| n.0 as usize).max().unwrap_or(0) + 1,
+            n_nodes,
+            "node ids must be dense 0..n"
+        );
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for id in &node_ids {
+            let links = topology.links_of(*id);
+            // Per-node hardware params: taken from the first attached link
+            // (the paper's evaluations use identical hardware everywhere).
+            let params = *topology.link(links[0]).physics.params();
+            let device = if cfg.near_term {
+                QDevice::near_term(*id, cfg.carbons, params)
+            } else {
+                QDevice::per_link(*id, &links, cfg.comm_per_link, params)
+            };
+            nodes.push(NodeRt {
+                qnp: QnpNode::new(*id),
+                device,
+            });
+        }
+        let links: Vec<LinkRt> = topology
+            .links()
+            .iter()
+            .map(|l| LinkRt {
+                proto: LinkProtocol::new((l.a, l.b), l.physics.clone()),
+                physics: l.physics.clone(),
+                a: l.a,
+                b: l.b,
+                inflight: None,
+            })
+            .collect();
+        let rng_links = (0..links.len())
+            .map(|i| SimRng::substream_indexed(seed, "link", i as u64))
+            .collect();
+        let rng_nodes = (0..n_nodes)
+            .map(|i| SimRng::substream_indexed(seed, "node", i as u64))
+            .collect();
+        NetworkModel {
+            topology,
+            nodes,
+            links,
+            pairs: PairStore::new(),
+            qubit_owner: HashMap::new(),
+            refs: HashMap::new(),
+            label_map: HashMap::new(),
+            circuits: HashMap::new(),
+            cutoff_events: HashMap::new(),
+            app: AppHarness::default(),
+            trace: if cfg.trace {
+                Trace::enabled()
+            } else {
+                Trace::disabled()
+            },
+            cfg,
+            rng_links,
+            rng_nodes,
+            rng_msgs: SimRng::substream(seed, "messages"),
+            transport: ReliableDelivery::new(),
+            state_mismatches: 0,
+            discarded_pairs: 0,
+        }
+    }
+
+    /// Install a circuit (signalling action): registers labels, feeds the
+    /// routing entries to the nodes, and records path metadata.
+    pub fn install_circuit(&mut self, installed: &InstalledCircuit) {
+        let mut neighbours = HashMap::new();
+        for (i, n) in installed.path.iter().enumerate() {
+            let up = (i > 0).then(|| installed.path[i - 1]);
+            let down = (i + 1 < installed.path.len()).then(|| installed.path[i + 1]);
+            neighbours.insert(*n, (up, down));
+        }
+        self.circuits.insert(
+            installed.circuit.0,
+            CircuitRt {
+                path: installed.path.clone(),
+                threshold: installed.plan.e2e_fidelity,
+                neighbours,
+            },
+        );
+        for (i, (link, label)) in installed.labels.iter().enumerate() {
+            self.label_map.insert(
+                (*link, *label),
+                LabelInfo {
+                    circuit: installed.circuit,
+                    upstream_node: installed.path[i],
+                },
+            );
+        }
+        for (node, entry) in &installed.entries {
+            let mut entry = *entry;
+            if self.cfg.disable_cutoff {
+                entry.cutoff = SimDuration::MAX;
+            }
+            let outs = self.nodes[node.0 as usize]
+                .qnp
+                .handle(NetInput::InstallCircuit { entry });
+            debug_assert!(outs.is_empty());
+        }
+    }
+
+    /// The fidelity threshold of a circuit (for oracle baselines).
+    pub fn circuit_threshold(&self, circuit: CircuitId) -> Option<f64> {
+        self.circuits.get(&circuit.0).map(|c| c.threshold)
+    }
+
+    // ----- helpers ---------------------------------------------------
+
+    fn link_between(&self, a: NodeId, b: NodeId) -> LinkId {
+        self.topology
+            .link_between(a, b)
+            .expect("circuit hops follow links")
+    }
+
+    /// The link on `side` of `node` for `circuit`.
+    fn side_link(&self, circuit: CircuitId, node: NodeId, side: LinkSide) -> LinkId {
+        let rt = &self.circuits[&circuit.0];
+        let (up, down) = rt.neighbours[&node];
+        let peer = match side {
+            LinkSide::Upstream => up.expect("upstream link exists"),
+            LinkSide::Downstream => down.expect("downstream link exists"),
+        };
+        self.link_between(node, peer)
+    }
+
+    fn send_message(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        from: NodeId,
+        circuit: CircuitId,
+        downstream: bool,
+        msg: Message,
+    ) {
+        let rt = &self.circuits[&circuit.0];
+        let (up, down) = rt.neighbours[&from];
+        let to = if downstream {
+            down.expect("downstream neighbour")
+        } else {
+            up.expect("upstream neighbour")
+        };
+        let link = self.link_between(from, to);
+        let channel = ChannelModel {
+            propagation: self.links[link.0 as usize]
+                .physics
+                .fibre()
+                .propagation_delay(),
+            processing: self.cfg.processing_delay,
+            extra: self.cfg.extra_message_delay,
+            jitter: self.cfg.message_jitter,
+        };
+        let latency = channel.sample_latency(&mut self.rng_msgs);
+        // Reliable in-order transport: a directed hop never reorders.
+        let at = self.transport.schedule(from, to, ctx.now(), latency);
+        self.trace.record(
+            ctx.now(),
+            TraceKind::Message,
+            format!("{from}"),
+            format!(
+                "{} -> {to} ({})",
+                msg.kind_name(),
+                if downstream { "down" } else { "up" }
+            ),
+        );
+        ctx.schedule_at(
+            at,
+            Ev::MsgDeliver {
+                to,
+                from_upstream: downstream,
+                msg,
+            },
+        );
+    }
+
+    /// Free one end of a pair at a node: release the memory slot, drop
+    /// the reference, and — because freed qubits get re-initialised for
+    /// new attempts — replace the abandoned end with white noise when the
+    /// pair survives at the other end.
+    fn release_end(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        correlator: Correlator,
+        reinitialise: bool,
+    ) {
+        let Some(pid) = self.qubit_owner.remove(&(node, correlator)) else {
+            return;
+        };
+        if let Some(refs) = self.refs.get_mut(&pid) {
+            refs.retain(|(n, c)| !(*n == node && *c == correlator));
+            let empty = refs.is_empty();
+            // Free the local slot.
+            if let Some(pair) = self.pairs.get(pid) {
+                if let Some(idx) = pair.end_at(node) {
+                    let qubit = pair.ends()[idx].qubit;
+                    self.nodes[node.0 as usize].device.free(qubit);
+                }
+            }
+            if empty {
+                self.refs.remove(&pid);
+                self.pairs.discard(pid);
+            } else if reinitialise {
+                self.pairs.apply_dephasing(pid, node, 0.5);
+                // Full depolarisation of the abandoned end: dephase + mix
+                // populations via the store's escape hatch.
+                if let Some(pair) = self.pairs.get(pid) {
+                    if let Some(idx) = pair.end_at(node) {
+                        self.pairs.with_state_mut(pid, |state| {
+                            state.apply_kraus(&qn_quantum::channels::depolarizing(1.0), &[idx]);
+                        });
+                    }
+                }
+            }
+        }
+        self.poll_links_of(ctx, node);
+    }
+
+    /// Re-examine every link attached to `node` (a qubit freed or a
+    /// request changed).
+    fn poll_links_of(&mut self, ctx: &mut Context<'_, Ev>, node: NodeId) {
+        for link in self.topology.links_of(node) {
+            self.poll_link(ctx, link);
+        }
+    }
+
+    /// Start the next generation on a link if the protocol has work and
+    /// both endpoint devices can reserve a communication qubit.
+    fn poll_link(&mut self, ctx: &mut Context<'_, Ev>, link: LinkId) {
+        let l = &mut self.links[link.0 as usize];
+        if l.inflight.is_some() {
+            return;
+        }
+        let Some(spec) = l.proto.next_action() else {
+            return;
+        };
+        let (na, nb) = (l.a, l.b);
+        // Reserve a communication qubit at each end, or stall.
+        let Some(qa) = self.nodes[na.0 as usize].device.alloc_comm(link) else {
+            return;
+        };
+        let Some(qb) = self.nodes[nb.0 as usize].device.alloc_comm(link) else {
+            self.nodes[na.0 as usize].device.free(qa);
+            return;
+        };
+        let l = &mut self.links[link.0 as usize];
+        l.proto.on_generation_started(spec.label);
+        let p = l.physics.success_prob(spec.alpha);
+        let attempts = self.rng_links[link.0 as usize].geometric(p);
+        let duration = l.physics.cycle_time().saturating_mul(attempts);
+        let event = ctx.schedule_in(duration, Ev::GenDone { link });
+        l.inflight = Some(Inflight {
+            label: spec.label,
+            alpha: spec.alpha,
+            attempts,
+            started: ctx.now(),
+            event,
+            qubit_a: (na, qa),
+            qubit_b: (nb, qb),
+        });
+    }
+
+    /// A link generation heralded success: create the physical pair,
+    /// charge nuclear dephasing, notify the network layers.
+    fn gen_done(&mut self, ctx: &mut Context<'_, Ev>, link: LinkId) {
+        let l = &mut self.links[link.0 as usize];
+        let inflight = l.inflight.take().expect("GenDone without inflight");
+        let elapsed = ctx.now().since(inflight.started);
+        let announced = l
+            .physics
+            .sample_announced(&mut self.rng_links[link.0 as usize]);
+        let (pair, events) = l
+            .proto
+            .on_generation_complete(announced, inflight.attempts, elapsed);
+        let state = l.physics.heralded_state(inflight.alpha, announced);
+        let (na, qa) = inflight.qubit_a;
+        let (nb, qb) = inflight.qubit_b;
+        let (t1a, t2a) = self.nodes[na.0 as usize].device.coherence_times(qa);
+        let (t1b, t2b) = self.nodes[nb.0 as usize].device.coherence_times(qb);
+        let pid = self.pairs.create(
+            ctx.now(),
+            state,
+            announced,
+            [(na, qa, t1a, t2a), (nb, qb, t1b, t2b)],
+        );
+        let correlator = Correlator {
+            node_a: pair.id.node_a,
+            node_b: pair.id.node_b,
+            seq: pair.id.seq,
+        };
+        self.qubit_owner.insert((na, correlator), pid);
+        self.qubit_owner.insert((nb, correlator), pid);
+        self.refs
+            .insert(pid, vec![(na, correlator), (nb, correlator)]);
+        self.trace.record(
+            ctx.now(),
+            TraceKind::LinkPair,
+            format!("{na}-{nb}"),
+            format!(
+                "pair {correlator} ({announced}) after {} attempts",
+                inflight.attempts
+            ),
+        );
+
+        // Nuclear dephasing: the attempts degrade carbon-stored qubits at
+        // both endpoint devices (near-term mode).
+        let lambda_per = self.nodes[na.0 as usize]
+            .device
+            .params()
+            .nuclear_dephasing_per_attempt(inflight.alpha);
+        if lambda_per > 0.0 {
+            for node in [na, nb] {
+                let victims: Vec<PairId> = self
+                    .refs
+                    .iter()
+                    .filter(|(p, ends)| **p != pid && ends.iter().any(|(n, _)| *n == node))
+                    .map(|(p, _)| *p)
+                    .collect();
+                // Coherence decays per attempt: λ_total = (1−(1−2λ)^k)/2.
+                let lambda_total = 0.5
+                    * (1.0 - (1.0 - 2.0 * lambda_per).powi(inflight.attempts.min(1 << 30) as i32));
+                for v in victims {
+                    self.pairs.apply_dephasing(v, node, lambda_total);
+                }
+            }
+        }
+
+        // Route the pair to the two QNP instances.
+        let Some(info) = self.label_map.get(&(link, pair.label)) else {
+            // Label no longer mapped (circuit torn down): free everything.
+            self.release_end(ctx, na, correlator, false);
+            self.release_end(ctx, nb, correlator, false);
+            return;
+        };
+        let circuit = info.circuit;
+        let upstream_node = info.upstream_node;
+        let pair_info = PairInfo {
+            pair: PairRef {
+                correlator,
+                handle: PairHandle(pid.0),
+            },
+            announced,
+        };
+        for node in [na, nb] {
+            let side = if node == upstream_node {
+                LinkSide::Downstream
+            } else {
+                LinkSide::Upstream
+            };
+            // Near-term repeaters must move the pair into carbon storage
+            // before the shared electron frees up; the network layer
+            // learns of the pair once it is safely stored.
+            let is_intermediate = {
+                let rt = &self.circuits[&circuit.0];
+                let (u, d) = rt.neighbours[&node];
+                u.is_some() && d.is_some()
+            };
+            if self.cfg.near_term && is_intermediate {
+                if let Some(storage) = self.nodes[node.0 as usize].device.alloc_storage() {
+                    let params = self.nodes[node.0 as usize].device.params();
+                    let move_time = 2.0 * params.gates.two_qubit.duration
+                        + params.gates.carbon_init.map(|g| g.duration).unwrap_or(0.0);
+                    ctx.schedule_in(
+                        SimDuration::from_secs_f64(move_time),
+                        Ev::MoveDone {
+                            node,
+                            pair: pid,
+                            storage,
+                            link,
+                            circuit,
+                            side,
+                            info: pair_info,
+                        },
+                    );
+                    continue;
+                }
+                // No storage: the electron stays occupied; deliver anyway.
+            }
+            let outs = self.nodes[node.0 as usize].qnp.handle(NetInput::LinkPair {
+                circuit,
+                side,
+                info: pair_info,
+            });
+            self.process_outputs(ctx, node, circuit, outs);
+        }
+
+        // The link may start its next generation immediately (if qubits
+        // remain free).
+        for (evs, _) in [(events, 0)] {
+            for e in evs {
+                if let LinkEvent::RequestDone(label) = e {
+                    self.trace.record(
+                        ctx.now(),
+                        TraceKind::Info,
+                        format!("{na}-{nb}"),
+                        format!("link request {label} done"),
+                    );
+                }
+            }
+        }
+        self.poll_link(ctx, link);
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the MoveDone event fields
+    fn move_done(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        pid: PairId,
+        storage: QubitId,
+        circuit: CircuitId,
+        side: LinkSide,
+        info: PairInfo,
+    ) {
+        // The pair may have died while moving (other end discarded).
+        if !self.pairs.contains(pid) || self.pairs.get(pid).and_then(|p| p.end_at(node)).is_none() {
+            self.nodes[node.0 as usize].device.free(storage);
+            return;
+        }
+        let params = *self.nodes[node.0 as usize].device.params();
+        let (t1, t2) = self.nodes[node.0 as usize].device.coherence_times(storage);
+        // Transfer noise: two E-C gates plus carbon initialisation.
+        let f_move = params.gates.two_qubit.fidelity
+            * params.gates.two_qubit.fidelity
+            * params.gates.carbon_init.map(|g| g.fidelity).unwrap_or(1.0);
+        let p_move = qn_quantum::channels::depolarizing_param_for_fidelity(f_move, 2);
+        let electron = self
+            .pairs
+            .retarget_end(pid, node, storage, t1, t2, p_move, ctx.now());
+        self.nodes[node.0 as usize].device.free(electron);
+        self.trace.record(
+            ctx.now(),
+            TraceKind::Quantum,
+            format!("{node}"),
+            format!("moved pair end to storage {storage}"),
+        );
+        let outs = self.nodes[node.0 as usize].qnp.handle(NetInput::LinkPair {
+            circuit,
+            side,
+            info,
+        });
+        self.process_outputs(ctx, node, circuit, outs);
+        self.poll_links_of(ctx, node);
+    }
+
+    /// Apply the effects a QNP node requested.
+    fn process_outputs(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        circuit: CircuitId,
+        outs: Vec<NetOutput>,
+    ) {
+        for out in outs {
+            match out {
+                NetOutput::SendUpstream(msg) => {
+                    self.send_message(ctx, node, circuit, false, msg);
+                }
+                NetOutput::SendDownstream(msg) => {
+                    self.send_message(ctx, node, circuit, true, msg);
+                }
+                NetOutput::LinkSubmit {
+                    side,
+                    label,
+                    min_fidelity,
+                    weight,
+                } => {
+                    let link = self.side_link(circuit, node, side);
+                    let evs = self.links[link.0 as usize].proto.submit(LinkRequest {
+                        label,
+                        min_fidelity,
+                        demand: PairDemand::Continuous,
+                        weight,
+                    });
+                    for e in evs {
+                        if let LinkEvent::Rejected(l, reason) = e {
+                            self.trace.record(
+                                ctx.now(),
+                                TraceKind::Info,
+                                format!("{node}"),
+                                format!("link request {l} rejected: {reason}"),
+                            );
+                        }
+                    }
+                    self.poll_link(ctx, link);
+                }
+                NetOutput::LinkSetWeight {
+                    side,
+                    label,
+                    weight,
+                } => {
+                    let link = self.side_link(circuit, node, side);
+                    self.links[link.0 as usize].proto.set_weight(label, weight);
+                }
+                NetOutput::LinkStop { side, label } => {
+                    let link = self.side_link(circuit, node, side);
+                    let l = &mut self.links[link.0 as usize];
+                    let was_generating = l.proto.generating() == Some(label);
+                    l.proto.stop(label);
+                    if was_generating {
+                        if let Some(inflight) = l.inflight.take() {
+                            ctx.cancel(inflight.event);
+                            let (na, qa) = inflight.qubit_a;
+                            let (nb, qb) = inflight.qubit_b;
+                            self.nodes[na.0 as usize].device.free(qa);
+                            self.nodes[nb.0 as usize].device.free(qb);
+                        }
+                    }
+                    self.poll_link(ctx, link);
+                }
+                NetOutput::StartSwap { up, down } => {
+                    debug_assert!(self.qubit_owner.contains_key(&(node, up.correlator)));
+                    debug_assert!(self.qubit_owner.contains_key(&(node, down.correlator)));
+                    let params = self.nodes[node.0 as usize].device.params();
+                    let dur = params.gates.two_qubit.duration
+                        + params.gates.electron_single.duration
+                        + 2.0 * params.gates.readout.duration;
+                    self.trace.record(
+                        ctx.now(),
+                        TraceKind::Quantum,
+                        format!("{node}"),
+                        format!("SWAP start ({} x {})", up.correlator, down.correlator),
+                    );
+                    ctx.schedule_in(
+                        SimDuration::from_secs_f64(dur),
+                        Ev::SwapDone {
+                            node,
+                            circuit,
+                            up: up.correlator,
+                            down: down.correlator,
+                        },
+                    );
+                }
+                NetOutput::SetCutoff { pair, side, after } => {
+                    if after.is_infinite() {
+                        continue;
+                    }
+                    let ev = ctx.schedule_in(
+                        after,
+                        Ev::Cutoff {
+                            node,
+                            circuit,
+                            side,
+                            correlator: pair.correlator,
+                        },
+                    );
+                    self.cutoff_events.insert((node, pair.correlator), ev);
+                }
+                NetOutput::CancelCutoff { pair } => {
+                    if let Some(ev) = self.cutoff_events.remove(&(node, pair.correlator)) {
+                        ctx.cancel(ev);
+                    }
+                }
+                NetOutput::DiscardPair { pair } => {
+                    self.discarded_pairs += 1;
+                    self.trace.record(
+                        ctx.now(),
+                        TraceKind::Discard,
+                        format!("{node}"),
+                        format!("discard {}", pair.correlator),
+                    );
+                    self.release_end(ctx, node, pair.correlator, true);
+                }
+                NetOutput::MeasureNow { pair, basis } => {
+                    let params = self.nodes[node.0 as usize].device.params();
+                    let dur = params.gates.readout.duration;
+                    ctx.schedule_in(
+                        SimDuration::from_secs_f64(dur),
+                        Ev::MeasureDone {
+                            node,
+                            circuit,
+                            correlator: pair.correlator,
+                            basis,
+                        },
+                    );
+                }
+                NetOutput::ApplyCorrection { pair, pauli } => {
+                    if let Some(pid) = self.qubit_owner.get(&(node, pair.correlator)) {
+                        self.pairs.apply_pauli(*pid, node, pauli, ctx.now());
+                        self.trace.record(
+                            ctx.now(),
+                            TraceKind::Quantum,
+                            format!("{node}"),
+                            format!("Pauli {pauli:?} correction on {}", pair.correlator),
+                        );
+                    }
+                }
+                NetOutput::Deliver(delivery) => {
+                    self.record_delivery(ctx, node, circuit, delivery);
+                }
+                NetOutput::Notify(ev) => {
+                    if let AppEvent::EarlyPairExpired { pair, .. } = &ev {
+                        self.release_end(ctx, node, pair.correlator, false);
+                    }
+                    self.app.on_event(ctx.now(), node, circuit, ev);
+                }
+            }
+        }
+    }
+
+    fn record_delivery(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        circuit: CircuitId,
+        delivery: qn_net::events::Delivery,
+    ) {
+        let now = ctx.now();
+        let (oracle, consistent, release) = match &delivery.kind {
+            // Confirmed deliveries: read the oracle, then release the
+            // local end (the application consumed the qubit). Fidelity is
+            // measured against the *omniscient* frame (the pair's true
+            // quality); `state_consistent` separately records whether the
+            // protocol's claimed Bell state agrees. For final-state
+            // requests the tail can deliver before the head's physical
+            // correction lands — transiently "inconsistent" by design.
+            DeliveryKind::Qubit { pair, state } | DeliveryKind::EarlyTracking { pair, state } => {
+                let pid = self.qubit_owner.get(&(node, pair.correlator)).copied();
+                match pid {
+                    Some(pid) => {
+                        let omniscient = self.pairs.get(pid).map(|p| p.announced);
+                        let frame = omniscient.unwrap_or(*state);
+                        let f = self.pairs.fidelity_to(pid, frame, now);
+                        let consistent = omniscient.map(|o| o == *state);
+                        (Some(f), consistent, true)
+                    }
+                    None => (None, None, false),
+                }
+            }
+            // EARLY qubits are unconfirmed: the qubit stays live until
+            // the tracking info (or an expiry notification) arrives.
+            DeliveryKind::EarlyQubit { .. } => (None, None, false),
+            DeliveryKind::Measurement { .. } => (None, None, false),
+        };
+        let payload = Payload::from_kind(&delivery.kind);
+        if let Some(c) = consistent {
+            if !c {
+                self.state_mismatches += 1;
+            }
+        }
+        self.trace.record(
+            now,
+            TraceKind::Delivery,
+            format!("{node}"),
+            format!(
+                "deliver req {} seq {} ({:?})",
+                delivery.request, delivery.sequence, payload
+            ),
+        );
+        self.app.deliveries.push(DeliveryRecord {
+            time: now,
+            node,
+            circuit,
+            request: delivery.request,
+            sequence: delivery.sequence,
+            chain: delivery.chain,
+            payload,
+            oracle_fidelity: oracle,
+            state_consistent: consistent,
+        });
+        if release {
+            if let DeliveryKind::Qubit { pair, .. } | DeliveryKind::EarlyTracking { pair, .. } =
+                &delivery.kind
+            {
+                self.release_end(ctx, node, pair.correlator, false);
+            }
+        }
+    }
+
+    fn swap_done(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        circuit: CircuitId,
+        up: Correlator,
+        down: Correlator,
+    ) {
+        // Resolve the correlators to the pairs *currently* holding the
+        // local qubits (a neighbour's swap may have re-pointed them).
+        let (Some(up_pid), Some(down_pid)) = (
+            self.qubit_owner.get(&(node, up)).copied(),
+            self.qubit_owner.get(&(node, down)).copied(),
+        ) else {
+            // Circuit torn down mid-swap; the SM state went with it.
+            return;
+        };
+        let noise = SwapNoise::from_params(self.nodes[node.0 as usize].device.params());
+        let rng = &mut self.rng_nodes[node.0 as usize];
+        let res = self
+            .pairs
+            .swap(up_pid, down_pid, node, ctx.now(), &noise, rng);
+        // Free the two local slots.
+        for (n, q) in res.freed {
+            debug_assert_eq!(n, node);
+            self.nodes[n.0 as usize].device.free(q);
+        }
+        // Re-point surviving references to the joined pair.
+        let mut new_refs = Vec::with_capacity(2);
+        for (old_pid, consumed_corr) in [(up_pid, up), (down_pid, down)] {
+            self.qubit_owner.remove(&(node, consumed_corr));
+            if let Some(old) = self.refs.remove(&old_pid) {
+                for (n, c) in old {
+                    if n == node && c == consumed_corr {
+                        continue;
+                    }
+                    self.qubit_owner.insert((n, c), res.new_pair);
+                    new_refs.push((n, c));
+                }
+            }
+        }
+        if new_refs.is_empty() {
+            // Both outer ends were already abandoned: drop the pair.
+            self.pairs.discard(res.new_pair);
+        } else {
+            self.refs.insert(res.new_pair, new_refs);
+        }
+        self.trace.record(
+            ctx.now(),
+            TraceKind::Quantum,
+            format!("{node}"),
+            format!("SWAP done -> {}", res.outcome),
+        );
+        let outs = self.nodes[node.0 as usize]
+            .qnp
+            .handle(NetInput::SwapCompleted {
+                circuit,
+                up,
+                down,
+                outcome: res.outcome,
+                new_handle: PairHandle(res.new_pair.0),
+            });
+        self.process_outputs(ctx, node, circuit, outs);
+        self.poll_links_of(ctx, node);
+    }
+
+    /// Tear a circuit down at every node: the QNP aborts requests and
+    /// releases pairs; the label mapping is removed so in-flight link
+    /// generations for the circuit are dropped at delivery.
+    fn teardown(&mut self, ctx: &mut Context<'_, Ev>, circuit: CircuitId) {
+        let Some(rt) = self.circuits.get(&circuit.0) else {
+            return;
+        };
+        let path = rt.path.clone();
+        for node in path {
+            let outs = self.nodes[node.0 as usize]
+                .qnp
+                .handle(NetInput::TeardownCircuit { circuit });
+            self.process_outputs(ctx, node, circuit, outs);
+        }
+        self.label_map.retain(|_, info| info.circuit != circuit);
+        self.circuits.remove(&circuit.0);
+        self.trace.record(
+            ctx.now(),
+            TraceKind::Info,
+            "signalling".to_string(),
+            format!("{circuit} torn down"),
+        );
+    }
+
+    fn measure_done(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        circuit: CircuitId,
+        correlator: Correlator,
+        basis: Pauli,
+    ) {
+        let Some(pid) = self.qubit_owner.get(&(node, correlator)).copied() else {
+            return;
+        };
+        let readout = self.nodes[node.0 as usize].device.params().gates.readout;
+        let rng = &mut self.rng_nodes[node.0 as usize];
+        let result = self
+            .pairs
+            .measure_end(pid, node, basis, &readout, ctx.now(), rng);
+        self.trace.record(
+            ctx.now(),
+            TraceKind::Quantum,
+            format!("{node}"),
+            format!("measure {correlator} in {basis:?} -> {}", result.reported),
+        );
+        // The measured qubit's slot frees immediately; the pair state
+        // stays in the store until both ends are done (correlations!).
+        if let Some(pair) = self.pairs.get(pid) {
+            if let Some(idx) = pair.end_at(node) {
+                let qubit = pair.ends()[idx].qubit;
+                self.nodes[node.0 as usize].device.free(qubit);
+            }
+        }
+        self.qubit_owner.remove(&(node, correlator));
+        if let Some(refs) = self.refs.get_mut(&pid) {
+            refs.retain(|(n, c)| !(*n == node && *c == correlator));
+            if refs.is_empty() {
+                self.refs.remove(&pid);
+                self.pairs.discard(pid);
+            }
+        }
+        let outs = self.nodes[node.0 as usize]
+            .qnp
+            .handle(NetInput::MeasureCompleted {
+                circuit,
+                correlator,
+                outcome: result.reported,
+            });
+        self.process_outputs(ctx, node, circuit, outs);
+        self.poll_links_of(ctx, node);
+    }
+}
+
+impl Model for NetworkModel {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, ctx: &mut Context<'_, Ev>) {
+        let _ = now;
+        match event {
+            Ev::MsgDeliver {
+                to,
+                from_upstream,
+                msg,
+            } => {
+                let circuit = msg.circuit();
+                let outs = self.nodes[to.0 as usize]
+                    .qnp
+                    .handle(NetInput::Message { from_upstream, msg });
+                self.process_outputs(ctx, to, circuit, outs);
+            }
+            Ev::GenDone { link } => self.gen_done(ctx, link),
+            Ev::SwapDone {
+                node,
+                circuit,
+                up,
+                down,
+            } => self.swap_done(ctx, node, circuit, up, down),
+            Ev::MeasureDone {
+                node,
+                circuit,
+                correlator,
+                basis,
+            } => self.measure_done(ctx, node, circuit, correlator, basis),
+            Ev::Cutoff {
+                node,
+                circuit,
+                side,
+                correlator,
+            } => {
+                self.cutoff_events.remove(&(node, correlator));
+                let outs = self.nodes[node.0 as usize]
+                    .qnp
+                    .handle(NetInput::CutoffExpired {
+                        circuit,
+                        side,
+                        correlator,
+                    });
+                self.process_outputs(ctx, node, circuit, outs);
+            }
+            Ev::MoveDone {
+                node,
+                pair,
+                storage,
+                link: _,
+                circuit,
+                side,
+                info,
+            } => self.move_done(ctx, node, pair, storage, circuit, side, info),
+            Ev::SubmitRequest { circuit, request } => {
+                let head = self.circuits[&circuit.0].path[0];
+                self.app.submitted.insert((circuit, request.id), ctx.now());
+                let outs = self.nodes[head.0 as usize]
+                    .qnp
+                    .handle(NetInput::UserRequest { circuit, request });
+                self.process_outputs(ctx, head, circuit, outs);
+            }
+            Ev::CancelRequest { circuit, request } => {
+                let head = self.circuits[&circuit.0].path[0];
+                let outs = self.nodes[head.0 as usize]
+                    .qnp
+                    .handle(NetInput::CancelRequest { circuit, request });
+                self.process_outputs(ctx, head, circuit, outs);
+            }
+            Ev::Teardown { circuit } => self.teardown(ctx, circuit),
+        }
+    }
+}

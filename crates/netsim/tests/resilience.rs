@@ -1,0 +1,133 @@
+//! Resilience scenarios: circuit teardown mid-flight and message jitter
+//! — the paper's §4.1 "Classical communication and link reliability"
+//! behaviours.
+
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_net::{Address, AppEvent, Demand, RequestId, RequestType, UserRequest};
+use qn_netsim::build::NetworkBuilder;
+use qn_routing::{dumbbell, CutoffPolicy};
+use qn_sim::{SimDuration, SimTime};
+
+fn keep(id: u64, head: qn_sim::NodeId, tail: qn_sim::NodeId, f: f64, n: u64) -> UserRequest {
+    UserRequest {
+        id: RequestId(id),
+        head: Address {
+            node: head,
+            identifier: 0,
+        },
+        tail: Address {
+            node: tail,
+            identifier: 0,
+        },
+        min_fidelity: f,
+        demand: Demand::Pairs { n, deadline: None },
+        request_type: RequestType::Keep,
+        final_state: None,
+    }
+}
+
+#[test]
+fn teardown_mid_flight_aborts_cleanly() {
+    let (topology, d) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology).seed(81).build();
+    let v1 = sim
+        .open_circuit(d.a0, d.b0, 0.85, CutoffPolicy::short())
+        .unwrap();
+    let v2 = sim
+        .open_circuit(d.a1, d.b1, 0.85, CutoffPolicy::short())
+        .unwrap();
+    // A huge request on v1 that cannot complete before the teardown, and
+    // a normal one on v2 that must be unaffected.
+    sim.submit_at(SimTime::ZERO, v1, keep(1, d.a0, d.b0, 0.85, 1_000_000));
+    sim.submit_at(SimTime::ZERO, v2, keep(1, d.a1, d.b1, 0.85, 5));
+    sim.close_circuit_at(SimTime::ZERO + SimDuration::from_millis(200), v1);
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+
+    let app = sim.app();
+    // v1's application was told the circuit went down.
+    assert!(
+        app.events
+            .iter()
+            .any(|(_, _, ev)| matches!(ev, AppEvent::CircuitDown(c) if *c == v1)),
+        "CircuitDown notification missing"
+    );
+    // v2 completed untouched.
+    assert!(app.completed.contains_key(&(v2, RequestId(1))));
+    assert_eq!(
+        app.confirmed_deliveries(v2, d.a1, SimTime::ZERO, SimTime::MAX),
+        5
+    );
+    // No quantum memory leaked: pairs of the torn-down circuit were
+    // released (cutoffs + teardown discards drain the rest).
+    sim.run_until(sim.now() + SimDuration::from_secs(5));
+    assert_eq!(sim.live_pairs(), 0, "pairs leaked after teardown");
+}
+
+#[test]
+fn teardown_before_any_request_is_a_noop_for_others() {
+    let (topology, d) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology).seed(82).build();
+    let v1 = sim
+        .open_circuit(d.a0, d.b0, 0.85, CutoffPolicy::short())
+        .unwrap();
+    let v2 = sim
+        .open_circuit(d.a0, d.b1, 0.85, CutoffPolicy::short())
+        .unwrap();
+    sim.close_circuit_at(SimTime::ZERO, v1);
+    sim.submit_at(
+        SimTime::ZERO + SimDuration::from_millis(1),
+        v2,
+        keep(1, d.a0, d.b1, 0.85, 3),
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+    assert!(sim.app().completed.contains_key(&(v2, RequestId(1))));
+}
+
+#[test]
+fn jitter_does_not_break_the_protocol() {
+    // 2 ms of uniform per-message jitter: the reliable in-order transport
+    // must keep the protocol fully functional (the paper's reliance on
+    // TCP-like semantics).
+    let (topology, d) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology)
+        .seed(83)
+        .message_jitter(SimDuration::from_millis(2))
+        .build();
+    let vc = sim
+        .open_circuit(d.a0, d.b0, 0.85, CutoffPolicy::short())
+        .unwrap();
+    sim.submit_at(SimTime::ZERO, vc, keep(1, d.a0, d.b0, 0.85, 6));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+    let app = sim.app();
+    assert!(app.completed.contains_key(&(vc, RequestId(1))));
+    assert_eq!(
+        app.confirmed_deliveries(vc, d.a0, SimTime::ZERO, SimTime::MAX),
+        6
+    );
+    // Fidelity still respects the budget (jitter only delays bookkeeping).
+    let f = app.mean_fidelity(vc, d.a0).unwrap();
+    assert!(f > 0.8, "jittered run fidelity {f}");
+    sim.run_until(sim.now() + SimDuration::from_secs(5));
+    assert_eq!(sim.live_pairs(), 0);
+}
+
+#[test]
+fn jitter_changes_timing_but_not_correctness() {
+    let run = |jitter_us: u64| -> usize {
+        let (topology, d) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+        let mut sim = NetworkBuilder::new(topology)
+            .seed(84)
+            .message_jitter(SimDuration::from_micros(jitter_us))
+            .build();
+        let vc = sim
+            .open_circuit(d.a0, d.b0, 0.85, CutoffPolicy::short())
+            .unwrap();
+        sim.submit_at(SimTime::ZERO, vc, keep(1, d.a0, d.b0, 0.85, 4));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+        sim.app()
+            .confirmed_deliveries(vc, d.a0, SimTime::ZERO, SimTime::MAX)
+    };
+    assert_eq!(run(0), 4);
+    assert_eq!(run(500), 4);
+    assert_eq!(run(5_000), 4);
+}

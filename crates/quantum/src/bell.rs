@@ -1,0 +1,203 @@
+//! The four Bell states and the XOR algebra used for *lazy entanglement
+//! tracking*.
+//!
+//! The QNP never simulates intermediate pair states to know which Bell
+//! state an end-to-end pair is in — it composes the two-bit entanglement
+//! swap outcomes with XOR (Sec. 3.2 / Appendix C `combine_state`). This
+//! module defines that algebra; a test in `tests/bell_tracking.rs`
+//! verifies it against the full density-matrix simulation for every
+//! combination of input states and measurement outcomes.
+//!
+//! Convention: `B(x, z) = (I ⊗ XˣZᶻ)|Φ⁺⟩`, i.e. the correction Pauli acts
+//! on the *second* qubit:
+//!
+//! | (x,z) | state | name |
+//! |-------|-------|------|
+//! | (0,0) | (|00⟩+|11⟩)/√2 | Φ⁺ |
+//! | (1,0) | (|01⟩+|10⟩)/√2 | Ψ⁺ |
+//! | (0,1) | (|00⟩−|11⟩)/√2 | Φ⁻ |
+//! | (1,1) | (|01⟩−|10⟩)/√2 | Ψ⁻ |
+
+use crate::complex::C64;
+use crate::gates::Pauli;
+use crate::state::DensityMatrix;
+use std::f64::consts::FRAC_1_SQRT_2;
+use std::fmt;
+
+/// One of the four Bell states, encoded as the pair `(x, z)` of correction
+/// bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct BellState {
+    /// Bit-flip component of the correction Pauli.
+    pub x: bool,
+    /// Phase-flip component of the correction Pauli.
+    pub z: bool,
+}
+
+impl BellState {
+    /// `Φ⁺` — the reference state.
+    pub const PHI_PLUS: BellState = BellState { x: false, z: false };
+    /// `Ψ⁺`.
+    pub const PSI_PLUS: BellState = BellState { x: true, z: false };
+    /// `Φ⁻`.
+    pub const PHI_MINUS: BellState = BellState { x: false, z: true };
+    /// `Ψ⁻`.
+    pub const PSI_MINUS: BellState = BellState { x: true, z: true };
+
+    /// All four states, in `(x,z)` counting order.
+    pub const ALL: [BellState; 4] = [
+        Self::PHI_PLUS,
+        Self::PSI_PLUS,
+        Self::PHI_MINUS,
+        Self::PSI_MINUS,
+    ];
+
+    /// Construct from the two correction bits.
+    pub fn from_bits(x: bool, z: bool) -> Self {
+        BellState { x, z }
+    }
+
+    /// Encode as a two-bit index `(x << 1) | z`.
+    pub fn index(self) -> usize {
+        (usize::from(self.x) << 1) | usize::from(self.z)
+    }
+
+    /// Inverse of [`BellState::index`].
+    pub fn from_index(idx: usize) -> Self {
+        BellState {
+            x: idx & 0b10 != 0,
+            z: idx & 0b01 != 0,
+        }
+    }
+
+    /// The amplitudes of this Bell state over `{|00⟩,|01⟩,|10⟩,|11⟩}`.
+    pub fn amplitudes(self) -> [C64; 4] {
+        let h = C64::real(FRAC_1_SQRT_2);
+        let s = if self.z { -h } else { h };
+        if self.x {
+            // (|01⟩ ± |10⟩)/√2
+            [C64::ZERO, h, s, C64::ZERO]
+        } else {
+            // (|00⟩ ± |11⟩)/√2
+            [h, C64::ZERO, C64::ZERO, s]
+        }
+    }
+
+    /// The pure density matrix of this Bell state.
+    pub fn density(self) -> DensityMatrix {
+        DensityMatrix::pure(&self.amplitudes())
+    }
+
+    /// Compose two link states and a swap outcome into the state of the
+    /// joined pair: XOR of the correction bits (the paper's
+    /// `combine_state`). The operation is associative and commutative, so
+    /// swap ordering along a circuit does not matter — the property the
+    /// QNP's lazy tracking relies on.
+    pub fn combine(self, other: BellState, swap_outcome: BellState) -> BellState {
+        BellState {
+            x: self.x ^ other.x ^ swap_outcome.x,
+            z: self.z ^ other.z ^ swap_outcome.z,
+        }
+    }
+
+    /// The Pauli that, applied to the *second* qubit, transforms this state
+    /// into `target`.
+    pub fn correction_to(self, target: BellState) -> Pauli {
+        match (self.x ^ target.x, self.z ^ target.z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (false, true) => Pauli::Z,
+            (true, true) => Pauli::Y, // XZ up to global phase
+        }
+    }
+
+    /// Conventional name of the state.
+    pub fn name(self) -> &'static str {
+        match (self.x, self.z) {
+            (false, false) => "Φ+",
+            (true, false) => "Ψ+",
+            (false, true) => "Φ-",
+            (true, true) => "Ψ-",
+        }
+    }
+}
+
+impl fmt::Display for BellState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn states_are_orthonormal() {
+        for a in BellState::ALL {
+            for b in BellState::ALL {
+                let f = a.density().fidelity_pure(&b.amplitudes());
+                if a == b {
+                    assert!((f - 1.0).abs() < 1e-12);
+                } else {
+                    assert!(f.abs() < 1e-12, "{a} vs {b} overlap {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for s in BellState::ALL {
+            assert_eq!(BellState::from_index(s.index()), s);
+        }
+    }
+
+    #[test]
+    fn combine_is_commutative_and_associative_in_inputs() {
+        for a in BellState::ALL {
+            for b in BellState::ALL {
+                for m in BellState::ALL {
+                    assert_eq!(a.combine(b, m), b.combine(a, m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combine_with_identity_outcome() {
+        // Swapping two Φ+ pairs with outcome Φ+ gives Φ+.
+        assert_eq!(
+            BellState::PHI_PLUS.combine(BellState::PHI_PLUS, BellState::PHI_PLUS),
+            BellState::PHI_PLUS
+        );
+    }
+
+    #[test]
+    fn correction_transforms_state() {
+        use crate::gates;
+        for from in BellState::ALL {
+            for to in BellState::ALL {
+                let pauli = from.correction_to(to);
+                let mut rho = from.density();
+                rho.apply_unitary(&pauli.matrix(), &[1]);
+                let f = rho.fidelity_pure(&to.amplitudes());
+                assert!(
+                    (f - 1.0).abs() < 1e-12,
+                    "{from} -> {to} via {pauli:?} got fidelity {f}"
+                );
+                // Also check the identity shortcut matches gates::identity.
+                if from == to {
+                    assert_eq!(pauli, Pauli::I);
+                    let _ = gates::identity();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_convention() {
+        assert_eq!(BellState::PHI_PLUS.name(), "Φ+");
+        assert_eq!(BellState::PSI_MINUS.name(), "Ψ-");
+    }
+}

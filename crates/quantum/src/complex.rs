@@ -1,0 +1,210 @@
+//! A minimal complex number type.
+//!
+//! The offline dependency set has no `num-complex`, and the engine needs
+//! only basic field arithmetic, conjugation and magnitude — so we implement
+//! exactly that.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Additive identity.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Construct from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// A purely real value.
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn abs2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.abs2().sqrt()
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Multiply by a real scalar.
+    pub fn scale(self, k: f64) -> Self {
+        C64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// True when both components are within `eps` of the other value's.
+    pub fn approx_eq(self, other: C64, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for C64 {
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    fn div(self, rhs: C64) -> C64 {
+        let d = rhs.abs2();
+        C64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(1.5, -0.5);
+        let b = C64::new(0.2, 0.9);
+        let c = a * b / b;
+        assert!(c.approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn conjugate_and_magnitude() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.conj(), C64::new(3.0, -4.0));
+        assert_eq!(z.abs2(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        assert!((z * z.conj()).approx_eq(C64::real(25.0), 1e-12));
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..8 {
+            let z = C64::cis(k as f64 * std::f64::consts::FRAC_PI_4);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+        assert!(C64::cis(std::f64::consts::PI).approx_eq(C64::real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((C64::I * C64::I).approx_eq(C64::real(-1.0), 1e-15));
+    }
+}

@@ -1,0 +1,347 @@
+//! Dense complex matrices.
+//!
+//! The engine only ever manipulates matrices up to 16×16 (four qubits:
+//! two entangled pairs joined for an entanglement swap), so a simple
+//! row-major `Vec` with O(n³) multiplication is the right tool — no
+//! sparsity, no BLAS, no allocation tricks.
+
+use crate::complex::C64;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense complex matrix.
+#[derive(Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// The n×n identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Build from nested row slices (for gate definitions and tests).
+    pub fn from_rows(rows: &[&[C64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        CMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Build from a flat row-major slice of real values.
+    pub fn from_reals(rows: usize, cols: usize, vals: &[f64]) -> Self {
+        assert_eq!(vals.len(), rows * cols);
+        CMatrix {
+            rows,
+            cols,
+            data: vals.iter().map(|v| C64::real(*v)).collect(),
+        }
+    }
+
+    /// A column vector from a slice.
+    pub fn col_vector(v: &[C64]) -> Self {
+        CMatrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Matrix trace.
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square());
+        (0..self.rows).fold(C64::ZERO, |acc, i| acc + self[(i, i)])
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &CMatrix) -> CMatrix {
+        let mut out = CMatrix::zeros(self.rows * other.rows, self.cols * other.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for k in 0..other.rows {
+                    for l in 0..other.cols {
+                        out[(i * other.rows + k, j * other.cols + l)] = a * other[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Multiply every entry by a real scalar.
+    pub fn scale(&self, k: f64) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.scale(k)).collect(),
+        }
+    }
+
+    /// Multiply every entry by a complex scalar.
+    pub fn scale_c(&self, k: C64) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| *z * k).collect(),
+        }
+    }
+
+    /// Hermiticity check within tolerance.
+    pub fn is_hermitian(&self, eps: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in i..self.cols {
+                if !self[(i, j)].approx_eq(self[(j, i)].conj(), eps) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &CMatrix, eps: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, eps))
+    }
+
+    /// Unitarity check `U†U ≈ I` within tolerance.
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = &self.dagger() * self;
+        prod.approx_eq(&CMatrix::identity(self.rows), eps)
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[C64] {
+        &self.data
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix product");
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:?}  ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: f64) -> C64 {
+        C64::real(v)
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let m = CMatrix::from_reals(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = CMatrix::identity(2);
+        assert!((&m * &i).approx_eq(&m, 1e-15));
+        assert!((&i * &m).approx_eq(&m, 1e-15));
+    }
+
+    #[test]
+    fn product_matches_hand_computation() {
+        let a = CMatrix::from_reals(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = CMatrix::from_reals(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = &a * &b;
+        let expect = CMatrix::from_reals(2, 2, &[58.0, 64.0, 139.0, 154.0]);
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn dagger_of_complex_matrix() {
+        let m = CMatrix::from_rows(&[
+            &[C64::new(1.0, 2.0), C64::new(0.0, -1.0)],
+            &[C64::new(3.0, 0.0), C64::new(0.0, 4.0)],
+        ]);
+        let d = m.dagger();
+        assert_eq!(d[(0, 0)], C64::new(1.0, -2.0));
+        assert_eq!(d[(0, 1)], C64::new(3.0, 0.0));
+        assert_eq!(d[(1, 0)], C64::new(0.0, 1.0));
+        assert_eq!(d[(1, 1)], C64::new(0.0, -4.0));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = CMatrix::from_reals(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        let b = CMatrix::from_reals(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let k = a.kron(&b);
+        assert_eq!(k.rows(), 4);
+        // I ⊗ X swaps within blocks.
+        assert_eq!(k[(0, 1)], r(1.0));
+        assert_eq!(k[(1, 0)], r(1.0));
+        assert_eq!(k[(2, 3)], r(1.0));
+        assert_eq!(k[(3, 2)], r(1.0));
+        assert_eq!(k[(0, 0)], r(0.0));
+    }
+
+    #[test]
+    fn trace_adds_diagonal() {
+        let m = CMatrix::from_reals(3, 3, &[1.0, 9.0, 9.0, 9.0, 2.0, 9.0, 9.0, 9.0, 3.0]);
+        assert_eq!(m.trace(), r(6.0));
+    }
+
+    #[test]
+    fn hermitian_and_unitary_checks() {
+        let h = CMatrix::from_rows(&[
+            &[r(1.0), C64::new(0.0, -1.0)],
+            &[C64::new(0.0, 1.0), r(2.0)],
+        ]);
+        assert!(h.is_hermitian(1e-12));
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let had = CMatrix::from_reals(2, 2, &[s, s, s, -s]);
+        assert!(had.is_unitary(1e-12));
+        assert!(!CMatrix::from_reals(2, 2, &[1.0, 1.0, 0.0, 1.0]).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn kron_of_vectors() {
+        let v0 = CMatrix::col_vector(&[C64::ONE, C64::ZERO]);
+        let v1 = CMatrix::col_vector(&[C64::ZERO, C64::ONE]);
+        let v01 = v0.kron(&v1);
+        assert_eq!(v01.rows(), 4);
+        assert_eq!(v01[(1, 0)], C64::ONE);
+        assert_eq!(v01[(0, 0)], C64::ZERO);
+    }
+}

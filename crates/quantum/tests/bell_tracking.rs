@@ -1,0 +1,118 @@
+//! Cross-validation of the QNP's *lazy entanglement tracking* algebra
+//! against the full density-matrix simulation.
+//!
+//! The protocol's correctness hinges on one algebraic fact: XOR-combining
+//! swap outcomes along a chain predicts the Bell state of the end-to-end
+//! pair, regardless of swap order. These tests verify that exhaustively
+//! for all 16 input-state combinations and with property-based random
+//! chains of up to 3 swaps (4 links — a 5-node circuit).
+
+use proptest::prelude::*;
+use qn_quantum::bell::BellState;
+use qn_quantum::measure::bell_measure_ideal;
+use qn_quantum::DensityMatrix;
+
+/// Exhaustive: every pair of input Bell states, every sampled branch.
+#[test]
+fn exhaustive_two_link_tracking() {
+    for a in BellState::ALL {
+        for b in BellState::ALL {
+            // Sample all four measurement branches via stratified u.
+            for u in [0.05, 0.3, 0.55, 0.8, 0.999] {
+                let joint = a.density().tensor(&b.density());
+                let (outcome, rest) = bell_measure_ideal(&joint, 1, 2, u);
+                let rest = rest.unwrap();
+                let predicted = a.combine(b, outcome);
+                let f = rest.fidelity_pure(&predicted.amplitudes());
+                assert!(
+                    (f - 1.0).abs() < 1e-9,
+                    "links ({a},{b}), outcome {outcome}: predicted {predicted}, fidelity {f}"
+                );
+            }
+        }
+    }
+}
+
+/// Swap a chain of `links` ideal Bell pairs sequentially (left to right),
+/// tracking with XOR; verify the final state matches the prediction.
+fn run_chain(states: &[BellState], us: &[f64]) -> (BellState, DensityMatrix) {
+    assert!(!states.is_empty());
+    let mut current = states[0].density(); // pair spanning (end A, right)
+    let mut tracked = states[0];
+    for (i, s) in states.iter().enumerate().skip(1) {
+        let joint = current.tensor(&s.density());
+        // Qubits: 0 = A end, 1 = right end of current, 2 = left end of next,
+        // 3 = new right end. Swap measures (1, 2).
+        let (outcome, rest) = bell_measure_ideal(&joint, 1, 2, us[i - 1]);
+        tracked = tracked.combine(*s, outcome);
+        current = rest.unwrap();
+    }
+    (tracked, current)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random chains of 2–4 links: lazy tracking always predicts the final
+    /// Bell state exactly (fidelity 1 with ideal operations).
+    #[test]
+    fn random_chain_tracking(
+        idxs in proptest::collection::vec(0usize..4, 2..=4),
+        us in proptest::collection::vec(0.0f64..1.0, 3),
+    ) {
+        let states: Vec<BellState> = idxs.iter().map(|i| BellState::from_index(*i)).collect();
+        let (tracked, rho) = run_chain(&states, &us);
+        let f = rho.fidelity_pure(&tracked.amplitudes());
+        prop_assert!((f - 1.0).abs() < 1e-9, "tracked {tracked} fidelity {f}");
+    }
+
+    /// Swap order does not matter: swapping middle-first or ends-first on a
+    /// 3-link chain yields the same tracked state for the same outcomes,
+    /// and both match the simulation.
+    #[test]
+    fn swap_order_independence(
+        idxs in proptest::collection::vec(0usize..4, 3),
+        us in proptest::collection::vec(0.0f64..1.0, 2),
+    ) {
+        let s: Vec<BellState> = idxs.iter().map(|i| BellState::from_index(*i)).collect();
+
+        // Order 1: swap (link0, link1) then (result, link2).
+        let (t1, rho1) = run_chain(&s, &us);
+        let f1 = rho1.fidelity_pure(&t1.amplitudes());
+        prop_assert!((f1 - 1.0).abs() < 1e-9);
+
+        // Order 2: swap (link1, link2) first, then (link0, result).
+        let joint_right = s[1].density().tensor(&s[2].density());
+        let (o_r, right) = bell_measure_ideal(&joint_right, 1, 2, us[0]);
+        let right_state = s[1].combine(s[2], o_r);
+        let joint_all = s[0].density().tensor(&right.unwrap());
+        let (o_l, fin) = bell_measure_ideal(&joint_all, 1, 2, us[1]);
+        let t2 = s[0].combine(right_state, o_l);
+        let f2 = fin.unwrap().fidelity_pure(&t2.amplitudes());
+        prop_assert!((f2 - 1.0).abs() < 1e-9);
+    }
+
+    /// Werner-noise chains: the tracked Bell state remains the *dominant*
+    /// component (fidelity above the classical 0.5 bound) when links carry
+    /// realistic noise.
+    #[test]
+    fn noisy_chain_tracking_keeps_dominant_state(
+        f_link in 0.9f64..1.0,
+        u in 0.0f64..1.0,
+    ) {
+        use qn_quantum::formulas::werner_param;
+        let w = werner_param(f_link);
+        let phi = BellState::PHI_PLUS.density();
+        let mixed = DensityMatrix::maximally_mixed(2);
+        let noisy = DensityMatrix::from_matrix(
+            &phi.matrix().scale(w) + &mixed.matrix().scale(1.0 - w),
+        );
+        let joint = noisy.tensor(&noisy);
+        let (outcome, rest) = bell_measure_ideal(&joint, 1, 2, u);
+        let predicted = BellState::PHI_PLUS.combine(BellState::PHI_PLUS, outcome);
+        let f = rest.unwrap().fidelity_pure(&predicted.amplitudes());
+        let expected = qn_quantum::formulas::swap_fidelity(f_link, f_link);
+        prop_assert!((f - expected).abs() < 1e-6, "sim {f} vs formula {expected}");
+        prop_assert!(f > 0.5);
+    }
+}

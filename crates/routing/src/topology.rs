@@ -1,0 +1,260 @@
+//! Network topology description used by the routing controller.
+
+use qn_hardware::heralding::LinkPhysics;
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_sim::{LinkId, NodeId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One physical link of the network.
+#[derive(Clone)]
+pub struct LinkSpec {
+    /// The link's identity.
+    pub id: LinkId,
+    /// Lower endpoint.
+    pub a: NodeId,
+    /// Upper endpoint.
+    pub b: NodeId,
+    /// The physics of the link (hardware + fibre).
+    pub physics: LinkPhysics,
+}
+
+impl LinkSpec {
+    /// The endpoint opposite `n`.
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.a {
+            self.b
+        } else {
+            debug_assert_eq!(n, self.b);
+            self.a
+        }
+    }
+}
+
+/// The network graph: nodes and links with their physics.
+#[derive(Clone, Default)]
+pub struct Topology {
+    links: Vec<LinkSpec>,
+    adjacency: BTreeMap<NodeId, Vec<(NodeId, LinkId)>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a link between `a` and `b` with the given physics. Node ids
+    /// are implicit — any id mentioned by a link exists.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, physics: LinkPhysics) -> LinkId {
+        assert_ne!(a, b, "self-links are not allowed");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkSpec { id, a, b, physics });
+        self.adjacency.entry(a).or_default().push((b, id));
+        self.adjacency.entry(b).or_default().push((a, id));
+        id
+    }
+
+    /// Look up a link.
+    pub fn link(&self, id: LinkId) -> &LinkSpec {
+        &self.links[id.0 as usize]
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[LinkSpec] {
+        &self.links
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let set: BTreeSet<NodeId> = self.adjacency.keys().copied().collect();
+        set.into_iter().collect()
+    }
+
+    /// Links attached to a node, deterministic order.
+    pub fn links_of(&self, n: NodeId) -> Vec<LinkId> {
+        self.adjacency
+            .get(&n)
+            .map(|v| v.iter().map(|(_, l)| *l).collect())
+            .unwrap_or_default()
+    }
+
+    /// The link joining `a` and `b`, if adjacent.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.adjacency
+            .get(&a)?
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map(|(_, l)| *l)
+    }
+
+    /// Shortest path by hop count (all links identical in the paper's
+    /// evaluation). BFS with deterministic neighbour order.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(n) = queue.pop_front() {
+            for (next, _) in self.adjacency.get(&n).into_iter().flatten() {
+                if *next == from || prev.contains_key(next) {
+                    continue;
+                }
+                prev.insert(*next, n);
+                if *next == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while let Some(p) = prev.get(&cur) {
+                        path.push(*p);
+                        cur = *p;
+                        if cur == from {
+                            break;
+                        }
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(*next);
+            }
+        }
+        None
+    }
+}
+
+/// Named handles for the paper's Fig 7 evaluation topology.
+#[derive(Clone, Copy, Debug)]
+pub struct Dumbbell {
+    /// End-node A0.
+    pub a0: NodeId,
+    /// End-node A1.
+    pub a1: NodeId,
+    /// Router MA (A-side of the bottleneck).
+    pub ma: NodeId,
+    /// Router MB (B-side of the bottleneck).
+    pub mb: NodeId,
+    /// End-node B0.
+    pub b0: NodeId,
+    /// End-node B1.
+    pub b1: NodeId,
+}
+
+/// Build the Fig 7 dumbbell: A0,A1 — MA — MB — B0,B1 with identical
+/// links; MA–MB is the bottleneck.
+pub fn dumbbell(params: HardwareParams, fibre: FibreParams) -> (Topology, Dumbbell) {
+    let mut t = Topology::new();
+    let handles = Dumbbell {
+        a0: NodeId(0),
+        a1: NodeId(1),
+        ma: NodeId(2),
+        mb: NodeId(3),
+        b0: NodeId(4),
+        b1: NodeId(5),
+    };
+    let phys = LinkPhysics::new(params, fibre);
+    t.add_link(handles.a0, handles.ma, phys.clone());
+    t.add_link(handles.a1, handles.ma, phys.clone());
+    t.add_link(handles.ma, handles.mb, phys.clone());
+    t.add_link(handles.mb, handles.b0, phys.clone());
+    t.add_link(handles.mb, handles.b1, phys);
+    (t, handles)
+}
+
+/// Build a linear chain of `n` nodes with identical links (Fig 11 uses
+/// `n = 3` with 25 km telecom fibre).
+pub fn chain(n: usize, params: HardwareParams, fibre: FibreParams) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new();
+    let phys = LinkPhysics::new(params, fibre);
+    for i in 0..n - 1 {
+        t.add_link(NodeId(i as u32), NodeId(i as u32 + 1), phys.clone());
+    }
+    t
+}
+
+/// Build a ring of `n` nodes with identical links — a topology with
+/// genuine path choices (the shortest-path computation has to pick a
+/// direction, and antipodal nodes have two equal-length candidates).
+pub fn ring(n: usize, params: HardwareParams, fibre: FibreParams) -> Topology {
+    assert!(n >= 3);
+    let mut t = Topology::new();
+    let phys = LinkPhysics::new(params, fibre);
+    for i in 0..n {
+        t.add_link(NodeId(i as u32), NodeId(((i + 1) % n) as u32), phys.clone());
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab() -> (HardwareParams, FibreParams) {
+        (HardwareParams::simulation(), FibreParams::lab_2m())
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let (p, f) = lab();
+        let (t, d) = dumbbell(p, f);
+        assert_eq!(t.links().len(), 5);
+        assert_eq!(t.nodes().len(), 6);
+        // A0 to B0 goes through MA and MB.
+        let path = t.shortest_path(d.a0, d.b0).unwrap();
+        assert_eq!(path, vec![d.a0, d.ma, d.mb, d.b0]);
+        // The bottleneck link exists.
+        assert!(t.link_between(d.ma, d.mb).is_some());
+        assert!(t.link_between(d.a0, d.b0).is_none());
+    }
+
+    #[test]
+    fn chain_paths() {
+        let (p, f) = lab();
+        let t = chain(5, p, f);
+        let path = t.shortest_path(NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(path.len(), 5);
+        assert_eq!(t.shortest_path(NodeId(2), NodeId(2)), Some(vec![NodeId(2)]));
+    }
+
+    #[test]
+    fn no_path_between_disconnected() {
+        let (p, f) = lab();
+        let mut t = Topology::new();
+        let phys = LinkPhysics::new(p, f);
+        t.add_link(NodeId(0), NodeId(1), phys.clone());
+        t.add_link(NodeId(2), NodeId(3), phys);
+        assert!(t.shortest_path(NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn links_of_node() {
+        let (p, f) = lab();
+        let (t, d) = dumbbell(p, f);
+        assert_eq!(t.links_of(d.ma).len(), 3);
+        assert_eq!(t.links_of(d.a0).len(), 1);
+    }
+
+    #[test]
+    fn ring_takes_the_short_way_around() {
+        let (p, f) = lab();
+        let t = ring(6, p, f);
+        assert_eq!(t.links().len(), 6);
+        // 0 -> 2: two hops clockwise beats four hops the other way.
+        let path = t.shortest_path(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(path.len(), 3);
+        // 0 -> 3 is antipodal: either direction is 3 hops; the result
+        // must be deterministic and length-3.
+        let p1 = t.shortest_path(NodeId(0), NodeId(3)).unwrap();
+        let p2 = t.shortest_path(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 4);
+    }
+
+    #[test]
+    fn link_other_endpoint() {
+        let (p, f) = lab();
+        let (t, d) = dumbbell(p, f);
+        let l = t.link_between(d.ma, d.mb).unwrap();
+        assert_eq!(t.link(l).other(d.ma), d.mb);
+        assert_eq!(t.link(l).other(d.mb), d.ma);
+    }
+}

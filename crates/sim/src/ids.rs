@@ -1,0 +1,44 @@
+//! Entity identifiers shared by simulation models.
+//!
+//! Kept in the simulation core so that hardware, protocol and runtime
+//! crates agree on node/link identity without depending on one another.
+
+use std::fmt;
+
+/// Identifies a network node (the paper's "locator").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a physical link (a quantum + classical channel between two
+/// adjacent nodes).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_hashable_and_display() {
+        let mut s = HashSet::new();
+        s.insert(NodeId(1));
+        s.insert(NodeId(1));
+        s.insert(NodeId(2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{}", LinkId(7)), "l7");
+    }
+}

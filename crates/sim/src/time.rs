@@ -1,0 +1,353 @@
+//! Simulation time.
+//!
+//! The simulator uses an integer picosecond clock. Integer time makes event
+//! ordering exact and runs reproducible; picoseconds give sub-nanosecond
+//! resolution (optical path lengths, gate pulses) while still covering
+//! ~200 days of simulated time in a `u64`, far beyond any scenario in the
+//! paper (the longest runs are ~50 simulated seconds).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds per unit, used by the conversion helpers.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_S: u64 = 1_000_000_000_000;
+
+/// An absolute instant on the simulation clock, in picoseconds since the
+/// start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// The instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// The instant as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// The instant as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero if `earlier` is
+    /// in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration; used as "infinite"/disabled.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    /// Construct from integer nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns * PS_PER_NS)
+    }
+
+    /// Construct from integer microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * PS_PER_US)
+    }
+
+    /// Construct from integer milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * PS_PER_MS)
+    }
+
+    /// Construct from integer seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * PS_PER_S)
+    }
+
+    /// Construct from fractional seconds. Negative and non-finite inputs
+    /// clamp to zero; values beyond `u64` range clamp to [`SimDuration::MAX`].
+    pub fn from_secs_f64(s: f64) -> Self {
+        Self::from_f64(s, PS_PER_S as f64)
+    }
+
+    /// Construct from fractional milliseconds (same clamping as
+    /// [`SimDuration::from_secs_f64`]).
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_f64(ms, PS_PER_MS as f64)
+    }
+
+    /// Construct from fractional microseconds.
+    pub fn from_micros_f64(us: f64) -> Self {
+        Self::from_f64(us, PS_PER_US as f64)
+    }
+
+    /// Construct from fractional nanoseconds.
+    pub fn from_nanos_f64(ns: f64) -> Self {
+        Self::from_f64(ns, PS_PER_NS as f64)
+    }
+
+    fn from_f64(v: f64, scale: f64) -> Self {
+        if !v.is_finite() || v <= 0.0 {
+            return SimDuration(if v.is_infinite() && v > 0.0 {
+                u64::MAX
+            } else {
+                0
+            });
+        }
+        let ps = v * scale;
+        if ps >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(ps.round() as u64)
+        }
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// The duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// The duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// The duration as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Multiply by an integer, saturating.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// Scale by a non-negative float, clamping into range.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        Self::from_f64(self.0 as f64 * k, 1.0)
+    }
+
+    /// True when this represents the "disabled / infinite" sentinel.
+    pub fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+fn fmt_ps(ps: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ps == u64::MAX {
+        return write!(f, "inf");
+    }
+    if ps >= PS_PER_S {
+        write!(f, "{:.6}s", ps as f64 / PS_PER_S as f64)
+    } else if ps >= PS_PER_MS {
+        write!(f, "{:.3}ms", ps as f64 / PS_PER_MS as f64)
+    } else if ps >= PS_PER_US {
+        write!(f, "{:.3}us", ps as f64 / PS_PER_US as f64)
+    } else if ps >= PS_PER_NS {
+        write!(f, "{:.3}ns", ps as f64 / PS_PER_NS as f64)
+    } else {
+        write!(f, "{ps}ps")
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t=")?;
+        fmt_ps(self.0, f)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimDuration::from_nanos(5).as_ps(), 5_000);
+        assert_eq!(SimDuration::from_micros(2).as_ps(), 2_000_000);
+        assert_eq!(SimDuration::from_millis(3).as_ps(), 3_000_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_ps(), PS_PER_S);
+        assert!((SimDuration::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((SimDuration::from_millis_f64(0.25).as_millis_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_ps(100);
+        let d = SimDuration::from_ps(40);
+        assert_eq!((t + d).as_ps(), 140);
+        assert_eq!((t - d).as_ps(), 60);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.since(t + d), SimDuration::ZERO);
+        assert_eq!((t + d).since(t), d);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+        assert_eq!(SimTime::ZERO - SimDuration::from_secs(1), SimTime::ZERO);
+        assert_eq!(SimDuration::MAX * 2, SimDuration::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ps(1) < SimTime::from_ps(2));
+        assert!(SimDuration::from_millis(1) < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimDuration::from_ps(12)), "12ps");
+        assert_eq!(format!("{}", SimDuration::from_nanos(5)), "5.000ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(7)), "7.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(9)), "9.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000000s");
+        assert_eq!(format!("{}", SimDuration::MAX), "inf");
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        let d = SimDuration::from_micros(10);
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_micros(5));
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,174 @@
+//! Lightweight event tracing.
+//!
+//! Scenario code and examples record human-readable protocol events
+//! (message sends, swaps, deliveries) through a [`Trace`]. The recorder is
+//! deliberately simple: an in-memory list of `(time, category, text)` rows
+//! that can be printed as a sequence log (used by `examples/sequence_trace`
+//! to reproduce the paper's Fig 6).
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Category of a trace row, used for filtering.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// Classical control message transmitted.
+    Message,
+    /// Quantum operation (swap, measurement, move).
+    Quantum,
+    /// Link-layer pair generated.
+    LinkPair,
+    /// Pair delivered to an application.
+    Delivery,
+    /// Qubit discarded (cutoff or expiry notification).
+    Discard,
+    /// Anything else.
+    Info,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::Message => "MSG",
+            TraceKind::Quantum => "QOP",
+            TraceKind::LinkPair => "LNK",
+            TraceKind::Delivery => "DLV",
+            TraceKind::Discard => "DSC",
+            TraceKind::Info => "INF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded trace row.
+#[derive(Clone, Debug)]
+pub struct TraceRow {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Event category.
+    pub kind: TraceKind,
+    /// Node or component that produced the event.
+    pub source: String,
+    /// Human-readable description.
+    pub text: String,
+}
+
+/// An in-memory trace recorder. Disabled recorders drop rows, so leaving
+/// trace calls in hot paths is cheap for production runs.
+#[derive(Debug, Default)]
+pub struct Trace {
+    rows: Vec<TraceRow>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A disabled trace: records nothing.
+    pub fn disabled() -> Self {
+        Trace {
+            rows: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// An enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            rows: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Whether rows are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a row (no-op when disabled).
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        kind: TraceKind,
+        source: impl Into<String>,
+        text: impl Into<String>,
+    ) {
+        if self.enabled {
+            self.rows.push(TraceRow {
+                time,
+                kind,
+                source: source.into(),
+                text: text.into(),
+            });
+        }
+    }
+
+    /// All recorded rows in order.
+    pub fn rows(&self) -> &[TraceRow] {
+        &self.rows
+    }
+
+    /// Rows of a given kind.
+    pub fn rows_of(&self, kind: TraceKind) -> impl Iterator<Item = &TraceRow> {
+        self.rows.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Render the trace as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let src_w = self
+            .rows
+            .iter()
+            .map(|r| r.source.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>14}  {}  {:<w$}  {}\n",
+                format!("{}", r.time),
+                r.kind,
+                r.source,
+                r.text,
+                w = src_w
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, TraceKind::Info, "n0", "hello");
+        assert!(t.rows().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::ZERO, TraceKind::Message, "n0", "FORWARD");
+        t.record(
+            SimTime::ZERO + SimDuration::from_micros(3),
+            TraceKind::Quantum,
+            "n1",
+            "SWAP",
+        );
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.rows()[0].text, "FORWARD");
+        assert_eq!(t.rows_of(TraceKind::Quantum).count(), 1);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::ZERO, TraceKind::Delivery, "alice", "pair #1");
+        let s = t.render();
+        assert!(s.contains("DLV"));
+        assert!(s.contains("alice"));
+        assert!(s.contains("pair #1"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the event queue and engine invariants.
+
+use proptest::prelude::*;
+use qn_sim::{EventQueue, SimTime};
+
+proptest! {
+    /// Popped events are globally ordered by (time, insertion seq).
+    #[test]
+    fn pop_order_is_time_then_fifo(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_ps(*t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO violated at equal times");
+                }
+            }
+            prop_assert_eq!(SimTime::from_ps(times[idx]), t);
+            last = Some((t, idx));
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_removes_exact_subset(
+        times in proptest::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, q.push(SimTime::from_ps(*t), i)))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in &ids {
+            let cancel = cancel_mask.get(*i).copied().unwrap_or(false);
+            if cancel {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expected.push(*i);
+            }
+        }
+        prop_assert_eq!(q.len(), expected.len());
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, idx)) = q.pop() {
+            popped.push(idx);
+        }
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Interleaved push/pop/cancel keeps `len` consistent with reality.
+    #[test]
+    fn len_is_consistent_under_interleaving(ops in proptest::collection::vec(0u8..3, 1..300)) {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        let mut expected_len = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    ids.push(q.push(SimTime::from_ps(i as u64 % 17), i));
+                    expected_len += 1;
+                }
+                1 => {
+                    if q.pop().is_some() {
+                        expected_len -= 1;
+                    }
+                }
+                _ => {
+                    if let Some(id) = ids.pop() {
+                        if q.cancel(id) {
+                            expected_len -= 1;
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), expected_len);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The paper's §5.3 scenario: entanglement delivery on **near-future
+//! hardware** (Fig 11). Three nodes, 25 km telecom fibre between them,
+//! one communication qubit per node, carbon storage with nuclear-spin
+//! dephasing, manually populated routing tables, hand-tuned cutoff.
+//!
+//! ```sh
+//! cargo run --release --example near_term_repeater
+//! ```
+
+use qnp::prelude::*;
+use qnp::routing::chain;
+
+fn main() {
+    let topology = chain(
+        3,
+        HardwareParams::near_term(),
+        FibreParams::telecom(25_000.0),
+    );
+    // One electron + two carbons per node; the repeater must shuffle
+    // pairs into storage before serving its second link.
+    let mut sim = NetworkBuilder::new(topology).seed(13).near_term(2).build();
+
+    // "As our routing protocol does not work well in this environment we
+    // manually populate the routing tables. We set the link-fidelities as
+    // high as possible … and we tune the cutoff timer."
+    let plan = CircuitPlan {
+        path: vec![NodeId(0), NodeId(1), NodeId(2)],
+        e2e_fidelity: 0.5, // "sufficient to demonstrate quantum entanglement"
+        link_fidelity: 0.82,
+        alpha: 0.1,
+        cutoff: SimDuration::from_millis(1500),
+        max_lpr: 5.0,
+        max_eer: 1.0,
+    };
+    let vc = sim.install_plan(plan);
+    sim.submit_at(
+        SimTime::ZERO,
+        vc,
+        UserRequest {
+            id: RequestId(1),
+            head: Address {
+                node: NodeId(0),
+                identifier: 1,
+            },
+            tail: Address {
+                node: NodeId(2),
+                identifier: 1,
+            },
+            min_fidelity: 0.5,
+            demand: Demand::Pairs {
+                n: 10,
+                deadline: None,
+            },
+            request_type: RequestType::Keep,
+            final_state: None,
+        },
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(3600));
+
+    let app = sim.app();
+    println!("# near-future hardware: 10 pairs over 2 × 25 km (Fig 11)");
+    println!("# pair   arrival_s   oracle_fidelity");
+    for (i, rec) in app
+        .deliveries
+        .iter()
+        .filter(|r| r.node == NodeId(0))
+        .enumerate()
+    {
+        println!(
+            "{:6}   {:9.1}   {:.3}",
+            i + 1,
+            rec.time.as_secs_f64(),
+            rec.oracle_fidelity.unwrap_or(f64::NAN)
+        );
+    }
+    let n = app.confirmed_deliveries(vc, NodeId(0), SimTime::ZERO, SimTime::MAX);
+    let f = app.mean_fidelity(vc, NodeId(0)).unwrap_or(f64::NAN);
+    println!("#\n# delivered {n}/10 pairs, mean fidelity {f:.3} (requested 0.5)");
+    println!("# discarded along the way: {}", sim.discarded_pairs());
+    println!(
+        "# the protocol remains functional on extremely limited hardware — the paper's §5.3 claim"
+    );
+}

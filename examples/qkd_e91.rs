@@ -1,0 +1,107 @@
+//! Entanglement-based quantum key distribution (E91-style) over the
+//! dumbbell network — the paper's flagship "measure directly" use case
+//! (§3.1).
+//!
+//! Alice (A0) and Bob (B0) request MEASURE pairs in two alternating
+//! bases. The QNP measures each qubit as soon as it is available and
+//! withholds the outcome until tracking confirms the pair, so only
+//! outcomes from successfully generated pairs reach the application.
+//! Matching-basis rounds become key bits; the quantum bit error rate
+//! (QBER) estimates the channel quality.
+//!
+//! ```sh
+//! cargo run --release --example qkd_e91
+//! ```
+
+use qnp::prelude::*;
+
+fn main() {
+    let (topology, d) = qnp::routing::dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology).seed(2024).build();
+
+    // QKD wants fidelity ≥ 0.8 (paper §2.3: "for basic QKD the threshold
+    // fidelity is about 0.8").
+    let fidelity = 0.9;
+    let vc = sim
+        .open_circuit(d.a0, d.b0, fidelity, CutoffPolicy::short())
+        .expect("plan");
+
+    // Submit two MEASURE requests — one per basis. Pinning the delivery
+    // frame to Φ+ lets outcomes be compared directly: Z⊗Z and X⊗X both
+    // correlate perfectly on Φ+.
+    let rounds_per_basis = 100u64;
+    for (i, basis) in [Pauli::Z, Pauli::X].into_iter().enumerate() {
+        sim.submit_at(
+            SimTime::ZERO,
+            vc,
+            UserRequest {
+                id: RequestId(i as u64 + 1),
+                head: Address {
+                    node: d.a0,
+                    identifier: 1,
+                },
+                tail: Address {
+                    node: d.b0,
+                    identifier: 1,
+                },
+                min_fidelity: fidelity,
+                demand: Demand::Pairs {
+                    n: rounds_per_basis,
+                    deadline: None,
+                },
+                request_type: RequestType::Measure(basis),
+                final_state: Some(BellState::PHI_PLUS),
+            },
+        );
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(400));
+
+    let app = sim.app();
+    let alice = app.measurements(vc, d.a0);
+    let bob = app.measurements(vc, d.b0);
+    println!(
+        "Alice collected {} outcomes, Bob {}",
+        alice.len(),
+        bob.len()
+    );
+
+    // Sift: match outcomes by the network's entangled pair identifier
+    // (identical at both ends) and keep matching-basis rounds.
+    let mut sifted = 0usize;
+    let mut errors = 0usize;
+    let mut key_bits = String::new();
+    for (chain, a_out, a_basis, _) in &alice {
+        if let Some((_, b_out, b_basis, _)) = bob.iter().find(|(c, _, _, _)| c == chain) {
+            if a_basis != b_basis {
+                continue; // basis mismatch — sifted away
+            }
+            sifted += 1;
+            // On Φ+, Z and X outcomes correlate: key bit = outcome.
+            if a_out != b_out {
+                errors += 1;
+            } else if key_bits.len() < 32 {
+                key_bits.push(if *a_out { '1' } else { '0' });
+            }
+        }
+    }
+    let qber = errors as f64 / sifted.max(1) as f64;
+    println!("sifted rounds: {sifted}");
+    println!("QBER: {:.2}%", qber * 100.0);
+    println!("first key bits (Alice's view): {key_bits}…");
+
+    // Fidelity F ⇒ QBER ≈ (1−F)·2/3 for Werner-like noise; at F≈0.87
+    // expect ≈9 %, comfortably below the ≈11 % BB84/E91 security bound.
+    let est_fidelity = 1.0 - 1.5 * qber;
+    println!("fidelity estimated from QBER: {est_fidelity:.3}");
+    println!(
+        "oracle mean fidelity (simulation ground truth, Alice side): {}",
+        app.mean_fidelity(vc, d.a0)
+            .map(|f| format!("{f:.3}"))
+            .unwrap_or_else(|| "n/a (measured pairs carry no oracle reading)".into())
+    );
+    if qber < 0.11 {
+        println!("=> below the ≈11% security threshold: key distillation possible");
+    } else {
+        println!("=> QBER too high for a secure key at this fidelity");
+    }
+}

@@ -1,0 +1,110 @@
+//! Quantum state teleportation over network-delivered entanglement — the
+//! paper's "create and keep" use case (§3.1): the application keeps its
+//! delivered pair and uses it to send a data qubit deterministically.
+//!
+//! Alice (A0) prepares a data qubit in a non-trivial state, performs the
+//! Bell measurement against her half of a network-delivered pair, and
+//! sends the two classical bits to Bob (B0), who applies the Pauli
+//! correction. The example verifies the output fidelity against the
+//! directly computed expectation.
+//!
+//! ```sh
+//! cargo run --release --example teleportation
+//! ```
+
+use qnp::prelude::*;
+use qnp::quantum::gates;
+use qnp::quantum::measure::{bell_measure_ideal, swap_circuit_outcome};
+use qnp::quantum::{DensityMatrix, C64};
+
+fn main() {
+    let (topology, d) = qnp::routing::dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology).seed(7).build();
+    let vc = sim
+        .open_circuit(d.a0, d.b0, 0.9, CutoffPolicy::short())
+        .expect("plan");
+
+    // Create-and-keep: one pair, delivered in the Φ+ frame so the
+    // standard teleportation corrections apply unchanged.
+    sim.submit_at(
+        SimTime::ZERO,
+        vc,
+        UserRequest {
+            id: RequestId(1),
+            head: Address {
+                node: d.a0,
+                identifier: 1,
+            },
+            tail: Address {
+                node: d.b0,
+                identifier: 1,
+            },
+            min_fidelity: 0.9,
+            demand: Demand::CreateAndKeep {
+                n: 1,
+                deadline: None,
+                max_spread: SimDuration::from_secs(1),
+            },
+            request_type: RequestType::Keep,
+            final_state: Some(BellState::PHI_PLUS),
+        },
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+
+    // Fetch the delivered pair's true state from the application record.
+    let app = sim.app();
+    let delivered = app
+        .deliveries
+        .iter()
+        .find(|r| r.node == d.a0)
+        .expect("pair delivered at Alice");
+    let pair_fidelity = delivered.oracle_fidelity.expect("oracle annotated");
+    println!(
+        "network delivered a Φ+ pair with fidelity {pair_fidelity:.4} in {}",
+        delivered.time
+    );
+
+    // Alice's data qubit: |ψ⟩ = cos(θ/2)|0⟩ + e^{iφ} sin(θ/2)|1⟩.
+    let (theta, phi) = (1.1f64, 0.7f64);
+    let amp0 = C64::real((theta / 2.0).cos());
+    let amp1 = C64::cis(phi).scale((theta / 2.0).sin());
+    let data = DensityMatrix::pure(&[amp0, amp1]);
+
+    // Model the delivered pair as a Werner state at the measured fidelity
+    // (the delivery consumed the physical pair; its quality is what the
+    // oracle reported).
+    let w = qnp::quantum::formulas::werner_param(pair_fidelity);
+    let phi_plus = BellState::PHI_PLUS.density();
+    let mixed = DensityMatrix::maximally_mixed(2);
+    let pair =
+        DensityMatrix::from_matrix(&phi_plus.matrix().scale(w) + &mixed.matrix().scale(1.0 - w));
+
+    // Teleport: joint = data ⊗ pair (qubits: 0 = data, 1 = Alice's half,
+    // 2 = Bob's half). Alice Bell-measures (0, 1).
+    let joint = data.tensor(&pair);
+    let (outcome, bob_qubit) = bell_measure_ideal(&joint, 0, 1, 0.37);
+    let mut bob = bob_qubit.expect("Bob's qubit remains");
+    println!("Alice's Bell measurement outcome: {outcome} (two classical bits)");
+
+    // Bob's correction: outcome B(x,z) ⇒ apply X^x Z^z.
+    let (m_control, m_target) = (outcome.z, outcome.x);
+    let decoded = swap_circuit_outcome(m_control, m_target);
+    assert_eq!(decoded, outcome);
+    if outcome.x {
+        bob.apply_unitary(&gates::x(), &[0]);
+    }
+    if outcome.z {
+        bob.apply_unitary(&gates::z(), &[0]);
+    }
+
+    // Verify.
+    let f_out = bob.fidelity_pure(&[amp0, amp1]);
+    // For a Werner-w resource: F_out = (1 + w)/2 … averaged over input
+    // states it is (2F+1)/3; for pure teleportation theory on this input:
+    let f_expected = (2.0 * pair_fidelity + 1.0) / 3.0;
+    println!("teleported state fidelity: {f_out:.4}");
+    println!("theory for a Werner resource (average case): {f_expected:.4}");
+    println!("classical limit (no entanglement): 0.6667");
+    assert!(f_out > 0.667, "teleportation must beat the classical limit");
+    println!("=> beats the classical limit: genuine quantum teleportation");
+}

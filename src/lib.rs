@@ -1,0 +1,71 @@
+//! # qnp — a Rust reproduction of *Designing a Quantum Network Protocol*
+//!
+//! A from-scratch implementation of the Quantum Network Protocol (QNP) of
+//! Kozlowski, Dahlberg and Wehner (CoNEXT 2020), together with every
+//! substrate the paper's evaluation depends on:
+//!
+//! | layer | crate | role |
+//! |---|---|---|
+//! | scenarios & runtime | [`netsim`] | full-network discrete-event simulation |
+//! | routing + signalling | [`routing`] | paths, fidelity budgets, cutoffs, circuit installation |
+//! | **network layer (QNP)** | [`net`] | the paper's contribution: FORWARD/TRACK/EXPIRE/COMPLETE, swaps, cutoffs, lazy tracking |
+//! | link layer | [`link`] | entanglement generation service (Purpose IDs, WRR multiplexing) |
+//! | hardware | [`hardware`] | NV-centre devices, single-click heralding, Appendix B parameters |
+//! | quantum states | [`quantum`] | density matrices, channels, Bell algebra |
+//! | simulation core | [`sim`] | deterministic events, time, RNG, stats |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qnp::prelude::*;
+//!
+//! // The paper's Fig 7 dumbbell network on the optimistic hardware.
+//! let (topology, d) = qnp::routing::dumbbell(
+//!     HardwareParams::simulation(),
+//!     FibreParams::lab_2m(),
+//! );
+//! let mut sim = NetworkBuilder::new(topology).seed(1).build();
+//!
+//! // Ask the routing controller for an A0→B0 circuit at fidelity 0.8 and
+//! // install it through the signalling protocol.
+//! let vc = sim.open_circuit(d.a0, d.b0, 0.8, CutoffPolicy::short()).unwrap();
+//!
+//! // Request two entangled pairs.
+//! sim.submit_at(SimTime::ZERO, vc, UserRequest {
+//!     id: RequestId(1),
+//!     head: Address { node: d.a0, identifier: 0 },
+//!     tail: Address { node: d.b0, identifier: 0 },
+//!     min_fidelity: 0.8,
+//!     demand: Demand::Pairs { n: 2, deadline: None },
+//!     request_type: RequestType::Keep,
+//!     final_state: None,
+//! });
+//! sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+//!
+//! // Both end-nodes received their halves, confirmed by TRACK messages.
+//! assert_eq!(sim.app().confirmed_deliveries(vc, d.a0, SimTime::ZERO, SimTime::MAX), 2);
+//! assert_eq!(sim.app().confirmed_deliveries(vc, d.b0, SimTime::ZERO, SimTime::MAX), 2);
+//! ```
+//!
+//! See `examples/` for runnable applications (QKD, teleportation, the
+//! paper's Fig 6 sequence trace, near-term hardware) and `crates/bench`
+//! for the harnesses regenerating every figure of the paper's evaluation.
+
+pub use qn_hardware as hardware;
+pub use qn_link as link;
+pub use qn_net as net;
+pub use qn_netsim as netsim;
+pub use qn_quantum as quantum;
+pub use qn_routing as routing;
+pub use qn_sim as sim;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use qn_hardware::params::{FibreParams, HardwareParams};
+    pub use qn_net::{Address, AppEvent, CircuitId, Demand, RequestId, RequestType, UserRequest};
+    pub use qn_netsim::build::{NetSim, NetworkBuilder};
+    pub use qn_netsim::Payload;
+    pub use qn_quantum::{BellState, Pauli};
+    pub use qn_routing::{CircuitPlan, CutoffPolicy};
+    pub use qn_sim::{NodeId, SimDuration, SimTime};
+}

@@ -1,0 +1,222 @@
+//! Cross-crate integration tests through the root `qnp` facade:
+//! routing → signalling → QNP → link layer → hardware → events,
+//! exercising the paper's headline claims end to end.
+
+use qnp::prelude::*;
+use qnp::routing::chain;
+
+fn request(id: u64, head: NodeId, tail: NodeId, f: f64, n: u64) -> UserRequest {
+    UserRequest {
+        id: RequestId(id),
+        head: Address {
+            node: head,
+            identifier: 0,
+        },
+        tail: Address {
+            node: tail,
+            identifier: 0,
+        },
+        min_fidelity: f,
+        demand: Demand::Pairs { n, deadline: None },
+        request_type: RequestType::Keep,
+        final_state: None,
+    }
+}
+
+/// The paper's core promise: the delivered end-to-end fidelity respects
+/// the application's threshold, because the routing budget plans for the
+/// worst case. Checked across seeds and two target fidelities.
+#[test]
+fn fidelity_threshold_respected_across_seeds() {
+    for fidelity in [0.8, 0.9] {
+        let mut all = Vec::new();
+        for seed in 0..4u64 {
+            let (topology, d) =
+                qnp::routing::dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+            let mut sim = NetworkBuilder::new(topology).seed(seed).build();
+            let vc = sim
+                .open_circuit(d.a0, d.b0, fidelity, CutoffPolicy::short())
+                .unwrap();
+            sim.submit_at(SimTime::ZERO, vc, request(1, d.a0, d.b0, fidelity, 5));
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+            for rec in &sim.app().deliveries {
+                if let Some(f) = rec.oracle_fidelity {
+                    all.push(f);
+                }
+            }
+        }
+        assert!(!all.is_empty());
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        assert!(
+            mean >= fidelity - 0.03,
+            "target {fidelity}: mean delivered {mean}"
+        );
+    }
+}
+
+/// Longer circuits work and cost more time per pair (more links, more
+/// swaps, tighter budgets).
+#[test]
+fn latency_grows_with_chain_length() {
+    let mut latencies = Vec::new();
+    for n_nodes in [2usize, 3, 4] {
+        let topology = chain(n_nodes, HardwareParams::simulation(), FibreParams::lab_2m());
+        let tail = NodeId(n_nodes as u32 - 1);
+        let mut sim = NetworkBuilder::new(topology).seed(17).build();
+        let vc = sim
+            .open_circuit(NodeId(0), tail, 0.8, CutoffPolicy::short())
+            .unwrap();
+        sim.submit_at(SimTime::ZERO, vc, request(1, NodeId(0), tail, 0.8, 10));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+        let lat = sim
+            .app()
+            .request_latency(vc, RequestId(1))
+            .expect("completes")
+            .as_secs_f64();
+        latencies.push(lat);
+    }
+    assert!(
+        latencies[2] > latencies[0],
+        "4-node chain should be slower than direct link: {latencies:?}"
+    );
+}
+
+/// Cutoff ablation (Fig 10 in miniature): with short memories, the
+/// cutoff protocol delivers higher-fidelity pairs than running without
+/// cutoffs.
+#[test]
+fn cutoff_ablation_improves_fidelity_under_decoherence() {
+    let t2 = 0.8;
+    let run = |with_cutoff: bool| -> f64 {
+        let params = HardwareParams::simulation().with_electron_t2(t2);
+        let (topology, d) = qnp::routing::dumbbell(params, FibreParams::lab_2m());
+        let mut builder = NetworkBuilder::new(topology).seed(23);
+        if !with_cutoff {
+            builder = builder.disable_cutoff();
+        }
+        let mut sim = builder.build();
+        let vc = sim
+            .open_circuit(d.a0, d.b0, 0.8, CutoffPolicy::long())
+            .unwrap();
+        sim.submit_at(SimTime::ZERO, vc, request(1, d.a0, d.b0, 0.8, 30));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(20));
+        sim.app().mean_fidelity(vc, d.a0).unwrap_or(0.0)
+    };
+    let with_cutoff = run(true);
+    let without = run(false);
+    assert!(
+        with_cutoff > without,
+        "cutoff should protect fidelity: {with_cutoff:.3} vs {without:.3}"
+    );
+}
+
+/// The end-to-end pair identifier is identical at both ends for every
+/// confirmed chain — the paper's §3.2 delivery contract.
+#[test]
+fn chain_identifiers_match_at_both_ends() {
+    let (topology, d) = qnp::routing::dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology).seed(31).build();
+    let vc = sim
+        .open_circuit(d.a0, d.b0, 0.85, CutoffPolicy::short())
+        .unwrap();
+    sim.submit_at(SimTime::ZERO, vc, request(1, d.a0, d.b0, 0.85, 6));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+    let app = sim.app();
+    let head_ids: Vec<_> = app
+        .deliveries
+        .iter()
+        .filter(|r| r.node == d.a0)
+        .filter_map(|r| r.chain)
+        .collect();
+    let tail_ids: Vec<_> = app
+        .deliveries
+        .iter()
+        .filter(|r| r.node == d.b0)
+        .filter_map(|r| r.chain)
+        .collect();
+    assert_eq!(head_ids.len(), 6);
+    assert_eq!(tail_ids.len(), 6);
+    for id in &head_ids {
+        assert!(
+            tail_ids.contains(id),
+            "chain id {id:?} delivered at head but not tail"
+        );
+    }
+}
+
+/// Bell-state bookkeeping: both ends always report the same Bell state
+/// for the same chain (the lazy-tracking correctness claim).
+#[test]
+fn both_ends_agree_on_bell_states() {
+    let (topology, d) = qnp::routing::dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology).seed(37).build();
+    let vc = sim
+        .open_circuit(d.a0, d.b0, 0.85, CutoffPolicy::short())
+        .unwrap();
+    sim.submit_at(SimTime::ZERO, vc, request(1, d.a0, d.b0, 0.85, 8));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+    let app = sim.app();
+    for head_rec in app.deliveries.iter().filter(|r| r.node == d.a0) {
+        let tail_rec = app
+            .deliveries
+            .iter()
+            .find(|r| r.node == d.b0 && r.chain == head_rec.chain)
+            .expect("matching tail delivery");
+        let state_of = |p: &qnp::netsim::Payload| match p {
+            qnp::netsim::Payload::Qubit { state } => *state,
+            other => panic!("unexpected payload {other:?}"),
+        };
+        assert_eq!(
+            state_of(&head_rec.payload),
+            state_of(&tail_rec.payload),
+            "ends disagree on the delivered Bell state"
+        );
+    }
+}
+
+/// Mixed workload: KEEP + MEASURE + EARLY requests aggregated on one
+/// circuit all complete and deliver the right payload kinds.
+#[test]
+fn mixed_request_types_coexist() {
+    let (topology, d) = qnp::routing::dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology).seed(41).build();
+    let vc = sim
+        .open_circuit(d.a0, d.b0, 0.85, CutoffPolicy::short())
+        .unwrap();
+    sim.submit_at(SimTime::ZERO, vc, request(1, d.a0, d.b0, 0.85, 4));
+    sim.submit_at(
+        SimTime::ZERO,
+        vc,
+        UserRequest {
+            request_type: RequestType::Measure(Pauli::Z),
+            ..request(2, d.a0, d.b0, 0.85, 4)
+        },
+    );
+    sim.submit_at(
+        SimTime::ZERO,
+        vc,
+        UserRequest {
+            request_type: RequestType::Early,
+            ..request(3, d.a0, d.b0, 0.85, 4)
+        },
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+    let app = sim.app();
+    for id in 1..=3u64 {
+        assert!(
+            app.completed.contains_key(&(vc, RequestId(id))),
+            "request {id} incomplete"
+        );
+    }
+    let kinds: Vec<_> = app
+        .deliveries
+        .iter()
+        .filter(|r| r.node == d.a0)
+        .map(|r| std::mem::discriminant(&r.payload))
+        .collect();
+    let distinct: std::collections::HashSet<_> = kinds.into_iter().collect();
+    assert!(
+        distinct.len() >= 3,
+        "expected qubit, measurement and early payloads"
+    );
+}

@@ -1,0 +1,142 @@
+//! Randomized full-stack invariant checks: many seeds, mixed workloads,
+//! and the properties that must hold in every run regardless of the
+//! sampled noise.
+
+use qnp::prelude::*;
+
+fn request(id: u64, head: NodeId, tail: NodeId, f: f64, n: u64) -> UserRequest {
+    UserRequest {
+        id: RequestId(id),
+        head: Address {
+            node: head,
+            identifier: 0,
+        },
+        tail: Address {
+            node: tail,
+            identifier: 0,
+        },
+        min_fidelity: f,
+        demand: Demand::Pairs { n, deadline: None },
+        request_type: RequestType::Keep,
+        final_state: None,
+    }
+}
+
+/// Run a mixed two-circuit workload at a given seed and check every
+/// universal invariant.
+fn check_seed(seed: u64) {
+    let (topology, d) = qnp::routing::dumbbell(
+        HardwareParams::simulation().with_electron_t2(2.0),
+        FibreParams::lab_2m(),
+    );
+    let mut sim = NetworkBuilder::new(topology).seed(seed).build();
+    let v1 = sim
+        .open_circuit(d.a0, d.b0, 0.85, CutoffPolicy::long())
+        .unwrap();
+    let v2 = sim
+        .open_circuit(d.a1, d.b1, 0.8, CutoffPolicy::long())
+        .unwrap();
+    sim.submit_at(SimTime::ZERO, v1, request(1, d.a0, d.b0, 0.85, 6));
+    sim.submit_at(
+        SimTime::ZERO + SimDuration::from_millis(50),
+        v2,
+        request(1, d.a1, d.b1, 0.8, 6),
+    );
+    sim.submit_at(
+        SimTime::ZERO + SimDuration::from_millis(200),
+        v1,
+        UserRequest {
+            request_type: RequestType::Measure(Pauli::Z),
+            ..request(2, d.a0, d.b0, 0.85, 4)
+        },
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+    let app = sim.app();
+
+    // 1. All requests complete.
+    for (vc, id) in [(v1, 1u64), (v2, 1), (v1, 2)] {
+        assert!(
+            app.completed.contains_key(&(vc, RequestId(id))),
+            "seed {seed}: {vc} request {id} incomplete"
+        );
+    }
+
+    // 2. Deliveries at the two ends of each circuit are symmetric: every
+    //    confirmed chain appears exactly once per end.
+    for (vc, head, tail) in [(v1, d.a0, d.b0), (v2, d.a1, d.b1)] {
+        let head_chains: Vec<_> = app
+            .deliveries
+            .iter()
+            .filter(|r| r.circuit == vc && r.node == head)
+            .filter_map(|r| r.chain)
+            .collect();
+        let tail_chains: Vec<_> = app
+            .deliveries
+            .iter()
+            .filter(|r| r.circuit == vc && r.node == tail)
+            .filter_map(|r| r.chain)
+            .collect();
+        for c in &head_chains {
+            assert_eq!(
+                head_chains.iter().filter(|x| *x == c).count(),
+                1,
+                "seed {seed}: duplicate chain at head"
+            );
+            assert!(
+                tail_chains.contains(c),
+                "seed {seed}: half-delivered chain {c:?}"
+            );
+        }
+    }
+
+    // 3. No quantum memory leaks once the network drains.
+    sim.run_until(sim.now() + SimDuration::from_secs(10));
+    assert_eq!(sim.live_pairs(), 0, "seed {seed}: leaked pairs");
+
+    // 4. Bell-state bookkeeping is almost always consistent with the
+    //    omniscient tracker (readout errors allow rare mismatches).
+    if let Some(consistency) = sim.app().state_consistency() {
+        assert!(
+            consistency > 0.85,
+            "seed {seed}: tracking consistency {consistency}"
+        );
+    }
+
+    // 5. Fidelity annotations are physical.
+    for rec in &sim.app().deliveries {
+        if let Some(f) = rec.oracle_fidelity {
+            assert!((0.0..=1.0).contains(&f), "seed {seed}: fidelity {f}");
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_across_seeds() {
+    for seed in 100..110 {
+        check_seed(seed);
+    }
+}
+
+/// The deterministic-replay contract at full-stack scope.
+#[test]
+fn full_stack_determinism() {
+    let fingerprint = |seed: u64| -> (u64, Vec<u64>) {
+        let (topology, d) =
+            qnp::routing::dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+        let mut sim = NetworkBuilder::new(topology).seed(seed).build();
+        let vc = sim
+            .open_circuit(d.a0, d.b0, 0.85, CutoffPolicy::short())
+            .unwrap();
+        sim.submit_at(SimTime::ZERO, vc, request(1, d.a0, d.b0, 0.85, 5));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+        (
+            sim.events_processed(),
+            sim.app()
+                .deliveries
+                .iter()
+                .map(|r| r.time.as_ps())
+                .collect(),
+        )
+    };
+    assert_eq!(fingerprint(555), fingerprint(555));
+}
