@@ -1,0 +1,655 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Implements the surface this workspace's property tests use: the
+//! `proptest!` macro (with `#![proptest_config(...)]`), range/tuple/`Just`
+//! strategies, `prop_map`, `prop_oneof!`, `collection::vec`, `any::<T>()`,
+//! and the `prop_assert*!`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * cases are sampled from a **deterministic** per-test RNG (seeded from
+//!   the test name), so CI failures reproduce locally without a seed file;
+//! * there is **no shrinking** — a failing case reports the assertion
+//!   message and the case number, not a minimised input.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    /// Deterministic RNG driving all strategy sampling. Like real
+    /// proptest, it is backed by the `rand` crate (here: the in-tree
+    /// shim's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                inner: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            Self::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            self.inner.gen()
+        }
+
+        /// Uniform in `[0, n)`; `n` must be positive.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.inner.gen_range(0..n)
+        }
+    }
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the input; the case is not counted.
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// is just a samplable distribution.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                source: self,
+                whence,
+                f,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                sampler: std::rc::Rc::new(move |rng: &mut TestRng| self.sample(rng)),
+            }
+        }
+    }
+
+    /// Type-erased strategy, the element type of `prop_oneof!` unions.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<V> {
+        #[allow(clippy::type_complexity)]
+        sampler: std::rc::Rc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (self.sampler)(rng)
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Result of [`Strategy::prop_filter`]; resamples until accepted.
+    pub struct Filter<S, F> {
+        source: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.source.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 10000 consecutive samples: {}",
+                self.whence
+            );
+        }
+    }
+
+    /// Strategy yielding one fixed value (requires `Clone`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    /// Scalars samplable from half-open and inclusive ranges.
+    pub trait SampleScalar: Copy {
+        fn sample_scalar(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+    }
+
+    macro_rules! impl_sample_scalar_int {
+        ($($t:ty),*) => {$(
+            impl SampleScalar for $t {
+                fn sample_scalar(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                    let span = (hi as i128) - (lo as i128) + if inclusive { 1 } else { 0 };
+                    assert!(span > 0, "cannot sample from an empty range");
+                    if span > u64::MAX as i128 {
+                        // Full-width inclusive range: every word is a sample.
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_scalar_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleScalar for f64 {
+        fn sample_scalar(rng: &mut TestRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+            assert!(lo < hi, "cannot sample from an empty range");
+            let v = lo + (hi - lo) * rng.unit_f64();
+            if v >= hi {
+                lo
+            } else {
+                v
+            }
+        }
+    }
+
+    impl SampleScalar for f32 {
+        fn sample_scalar(rng: &mut TestRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+            assert!(lo < hi, "cannot sample from an empty range");
+            let v = lo + (hi - lo) * rng.unit_f64() as f32;
+            if v >= hi {
+                lo
+            } else {
+                v
+            }
+        }
+    }
+
+    impl<T: SampleScalar> Strategy for Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_scalar(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleScalar> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_scalar(rng, *self.start(), *self.end(), true)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_strategy_tuple! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Full-range strategy backing `any::<T>()`.
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T> Any<T> {
+        pub fn new() -> Self {
+            Any {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    macro_rules! impl_any {
+        ($($t:ty => |$rng:ident| $e:expr;)*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+
+                fn sample(&self, $rng: &mut TestRng) -> $t {
+                    $e
+                }
+            }
+        )*};
+    }
+    impl_any! {
+        bool => |rng| rng.next_u64() & 1 == 1;
+        u8 => |rng| rng.next_u64() as u8;
+        u16 => |rng| rng.next_u64() as u16;
+        u32 => |rng| rng.next_u64() as u32;
+        u64 => |rng| rng.next_u64();
+        usize => |rng| rng.next_u64() as usize;
+        i8 => |rng| rng.next_u64() as i8;
+        i16 => |rng| rng.next_u64() as i16;
+        i32 => |rng| rng.next_u64() as i32;
+        i64 => |rng| rng.next_u64() as i64;
+        isize => |rng| rng.next_u64() as isize;
+        f64 => |rng| rng.unit_f64();
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// Types with a canonical `any::<T>()` strategy.
+    pub trait Arbitrary: Sized
+    where
+        Any<Self>: crate::strategy::Strategy<Value = Self>,
+    {
+    }
+
+    impl Arbitrary for bool {}
+    impl Arbitrary for u8 {}
+    impl Arbitrary for u16 {}
+    impl Arbitrary for u32 {}
+    impl Arbitrary for u64 {}
+    impl Arbitrary for usize {}
+    impl Arbitrary for i8 {}
+    impl Arbitrary for i16 {}
+    impl Arbitrary for i32 {}
+    impl Arbitrary for i64 {}
+    impl Arbitrary for isize {}
+    impl Arbitrary for f64 {}
+
+    pub fn any<T: Arbitrary>() -> Any<T>
+    where
+        Any<T>: crate::strategy::Strategy<Value = T>,
+    {
+        Any::new()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted size arguments of [`vec`]: `n`, `lo..hi`, `lo..=hi`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `if !cond { fail the current case }`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`,\n right: `{:?}`",
+                    left,
+                    right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(*left == *right, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// `assert_ne!` counterpart of [`prop_assert_eq!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "assertion failed: `(left != right)`\n  both: `{:?}`",
+                    left
+                );
+            }
+        }
+    };
+}
+
+/// Discard the current case (does not count towards `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The property-test entry point. Each contained function runs
+/// `config.cases` sampled cases (default 256).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u64 = 0;
+                while passed < config.cases {
+                    case += 1;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                    )+
+                    let outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "{}: too many prop_assume! rejections ({})",
+                                    stringify!($name),
+                                    rejected
+                                );
+                            }
+                        }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!("{} failed at case {}:\n{}", stringify!($name), case, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..9, y in 0.0f64..1.0, n in 1usize..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(0u64..100, 2..=5)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+            prop_assert!(v.iter().all(|e| *e < 100));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(op in prop_oneof![
+            (0u8..4).prop_map(|v| v as u32),
+            Just(99u32),
+        ]) {
+            prop_assert!(op < 4 || op == 99);
+        }
+
+        #[test]
+        fn assume_filters(x in 0u8..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(b in any::<bool>()) {
+            prop_assert!(b || !b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            #[allow(dead_code)]
+            fn inner(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}
