@@ -1,4 +1,4 @@
-//! **Ablation** — path-length scaling.
+//! **Ablation** — path-length scaling and topology diversity.
 //!
 //! The paper motivates entanglement distillation (§4.3) by noting that
 //! the fidelity loss of entanglement swapping "ultimately limits the
@@ -7,19 +7,40 @@
 //! controller demands, and the point where a fixed end-to-end target
 //! becomes infeasible.
 //!
-//! Run: `cargo bench --bench ablation_chain_length` (knob: `QNP_RUNS`).
+//! A second section sweeps the **widened dumbbell** (the sweep runner's
+//! scenario-diversity axis): `width` straight-across circuits all
+//! contending for the single MA–MB bottleneck, one request each.
+//!
+//! Run: `cargo bench --bench ablation_chain_length`
+//! (knobs: `QNP_RUNS`, `QNP_THREADS`).
 
-use qn_bench::{keep_request, runs};
+use qn_bench::{
+    chain_sweep, mean_finite, runs, seed_block, wide_dumbbell_sweep, Baseline, Direction,
+};
 use qn_hardware::params::{FibreParams, HardwareParams};
-use qn_netsim::build::NetworkBuilder;
 use qn_routing::{chain, Controller, CutoffPolicy};
-use qn_sim::{NodeId, SimDuration, SimTime};
+use qn_sim::{NodeId, SimDuration};
 
 fn main() {
+    let wall_start = std::time::Instant::now();
     let n_runs = runs(3);
     let fidelity = 0.8;
+    let seeds = seed_block(7000, n_runs);
     println!("# Ablation — chain-length scaling at end-to-end F = {fidelity} (runs={n_runs})");
     println!("# nodes   links   link_F_budget   per_pair_latency_s   mean_fidelity");
+
+    let mut baseline = Baseline::new("ablation_chain_length")
+        .config_num("runs", n_runs as f64)
+        .config_num("fidelity", fidelity)
+        .direction("link_fidelity_budget", Direction::Informational)
+        .direction("per_pair_latency_s", Direction::LowerIsBetter)
+        .direction("mean_request_latency_s", Direction::LowerIsBetter)
+        .direction("mean_fidelity", Direction::HigherIsBetter)
+        .direction("completed", Direction::HigherIsBetter)
+        .direction(
+            "aggregate_throughput_pairs_per_s",
+            Direction::HigherIsBetter,
+        );
 
     for n_nodes in [2usize, 3, 4, 5, 6] {
         let topology = chain(n_nodes, HardwareParams::simulation(), FibreParams::lab_2m());
@@ -29,49 +50,83 @@ fn main() {
             Ok(p) => p,
             Err(e) => {
                 println!("{n_nodes:7}   {:5}   infeasible: {e}", n_nodes - 1);
+                baseline.point(
+                    format!("chain/nodes={n_nodes}"),
+                    &[
+                        ("link_fidelity_budget", f64::NAN),
+                        ("per_pair_latency_s", f64::NAN),
+                        ("mean_fidelity", f64::NAN),
+                    ],
+                );
                 continue;
             }
         };
-        let link_budget = plan.link_fidelity;
-        let mut latency = 0.0;
-        let mut latency_runs = 0usize;
-        let mut fid = 0.0;
-        let mut fid_runs = 0usize;
         let n_pairs = 8u64;
-        for seed in 0..n_runs {
-            let topology = chain(n_nodes, HardwareParams::simulation(), FibreParams::lab_2m());
-            let mut sim = NetworkBuilder::new(topology).seed(7000 + seed).build();
-            let vc = sim.install_plan(plan.clone());
-            sim.submit_at(
-                SimTime::ZERO,
-                vc,
-                keep_request(1, NodeId(0), tail, fidelity, n_pairs),
-            );
-            sim.run_until(SimTime::ZERO + SimDuration::from_secs(300));
-            let app = sim.app();
-            if let Some(l) = app.request_latency(vc, qn_net::RequestId(1)) {
-                latency += l.as_secs_f64() / n_pairs as f64;
-                latency_runs += 1;
-            }
-            if let Some(f) = app.mean_fidelity(vc, NodeId(0)) {
-                fid += f;
-                fid_runs += 1;
-            }
-        }
-        let latency = if latency_runs > 0 {
-            latency / latency_runs as f64
-        } else {
-            f64::NAN
-        };
-        let fid = if fid_runs > 0 {
-            fid / fid_runs as f64
-        } else {
-            f64::NAN
-        };
+        let points = chain_sweep(
+            &seeds,
+            n_nodes,
+            &plan,
+            fidelity,
+            n_pairs,
+            SimDuration::from_secs(300),
+        );
+        let latency = mean_finite(points.iter().map(|p| p.per_pair_latency));
+        let fid = mean_finite(points.iter().map(|p| p.mean_fidelity));
         let n_links = n_nodes - 1;
-        println!("{n_nodes:7}   {n_links:5}   {link_budget:13.4}   {latency:18.3}   {fid:13.4}");
+        println!(
+            "{n_nodes:7}   {n_links:5}   {:13.4}   {latency:18.3}   {fid:13.4}",
+            plan.link_fidelity
+        );
+        baseline.point(
+            format!("chain/nodes={n_nodes}"),
+            &[
+                ("link_fidelity_budget", plan.link_fidelity),
+                ("per_pair_latency_s", latency),
+                ("mean_fidelity", fid),
+            ],
+        );
     }
     println!("#\n# expected shape: the link budget climbs towards the hardware's");
     println!("# maximum as the chain grows; per-pair latency grows super-linearly;");
     println!("# past the feasibility wall only distillation (paper §4.3) helps.");
+
+    // ---- scenario diversity: widened dumbbells --------------------------
+    println!("#\n# widened dumbbell — `width` straight-across circuits over one bottleneck");
+    println!("# width   completed   mean_latency_s   aggregate_thr_pairs_per_s");
+    let div_seeds = seed_block(7500, n_runs);
+    for width in [1usize, 2, 3, 4] {
+        let points = wide_dumbbell_sweep(
+            &div_seeds,
+            width,
+            8,
+            fidelity,
+            CutoffPolicy::short(),
+            SimDuration::from_secs(120),
+        );
+        let completed: usize = points.iter().map(|p| p.completed).sum();
+        let circuits: usize = points.iter().map(|p| p.circuits).sum();
+        let lat = mean_finite(points.iter().map(|p| p.mean_latency));
+        let thr = points.iter().map(|p| p.aggregate_throughput).sum::<f64>() / n_runs as f64;
+        println!("{width:5}   {completed:6}/{circuits}   {lat:14.3}   {thr:25.2}");
+        baseline.point(
+            format!("wide_dumbbell/width={width}"),
+            &[
+                ("completed", completed as f64),
+                // Whole-request latency (8 pairs), not the chain
+                // section's per-pair unit.
+                ("mean_request_latency_s", lat),
+                ("aggregate_throughput_pairs_per_s", thr),
+            ],
+        );
+    }
+    println!("#\n# expected shape: aggregate throughput saturates at the bottleneck");
+    println!("# rate while per-request latency grows with the width.");
+
+    let path = baseline.write().expect("write baseline");
+    println!(
+        "# baseline: {} ({} threads, wall-clock {:.2} s)",
+        path.display(),
+        qn_exec::threads(),
+        wall_start.elapsed().as_secs_f64()
+    );
 }

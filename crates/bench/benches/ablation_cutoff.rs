@@ -11,27 +11,38 @@
 //!   collapses from the other side;
 //! * the 1.5 %-loss rule sits near the knee.
 //!
-//! Run: `cargo bench --bench ablation_cutoff` (knob: `QNP_RUNS`).
+//! Run: `cargo bench --bench ablation_cutoff`
+//! (knobs: `QNP_RUNS`, `QNP_THREADS`).
 
-use qn_bench::{keep_request, runs};
+use qn_bench::{cutoff_sweep, mean_finite, runs, seed_block, Baseline, Direction};
 use qn_hardware::params::{FibreParams, HardwareParams};
-use qn_netsim::build::NetworkBuilder;
 use qn_routing::budget::cutoff_for_fidelity_loss;
 use qn_routing::{dumbbell, CircuitPlan, CutoffPolicy};
-use qn_sim::{SimDuration, SimTime};
+use qn_sim::SimDuration;
 
 fn main() {
+    let wall_start = std::time::Instant::now();
     let n_runs = runs(3);
     let t2 = 1.6;
     let fidelity = 0.85;
     let params = HardwareParams::simulation().with_electron_t2(t2);
     let reference = cutoff_for_fidelity_loss(&params, fidelity, 0.015);
+    let seeds = seed_block(5000, n_runs);
     println!("# Ablation — cutoff sweep at T2* = {t2} s, target F = {fidelity}");
     println!(
         "# routing's 1.5%-loss cutoff for reference: {:.1} ms",
         reference.as_millis_f64()
     );
     println!("# cutoff_ms   throughput_pairs_per_s   mean_fidelity   discards");
+
+    let mut baseline = Baseline::new("ablation_cutoff")
+        .config_num("runs", n_runs as f64)
+        .config_num("t2_s", t2)
+        .config_num("fidelity", fidelity)
+        .config_num("reference_cutoff_ms", reference.as_millis_f64())
+        .direction("throughput_pairs_per_s", Direction::HigherIsBetter)
+        .direction("mean_fidelity", Direction::HigherIsBetter)
+        .direction("discards", Direction::Informational);
 
     // Use a fixed-fidelity plan so only the cutoff varies.
     let (topology, d) = dumbbell(params, FibreParams::lab_2m());
@@ -42,49 +53,36 @@ fn main() {
 
     for factor in [0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
         let cutoff = reference.mul_f64(factor);
-        let mut thr = 0.0;
-        let mut fid = 0.0;
-        let mut fid_runs = 0usize;
-        let mut discards = 0u64;
-        for seed in 0..n_runs {
-            let (topology, _) = dumbbell(
-                HardwareParams::simulation().with_electron_t2(t2),
-                FibreParams::lab_2m(),
-            );
-            let mut sim = NetworkBuilder::new(topology).seed(5000 + seed).build();
-            let plan = CircuitPlan {
-                cutoff,
-                ..base_plan.clone()
-            };
-            let vc = sim.install_plan(plan);
-            sim.submit_at(
-                SimTime::ZERO,
-                vc,
-                keep_request(1, d.a0, d.b0, fidelity, u64::MAX / 2),
-            );
-            let horizon = SimDuration::from_secs(10);
-            sim.run_until(SimTime::ZERO + horizon);
-            let app = sim.app();
-            thr += app.confirmed_deliveries(vc, d.a0, SimTime::ZERO, SimTime::MAX) as f64
-                / horizon.as_secs_f64();
-            if let Some(f) = app.mean_fidelity(vc, d.a0) {
-                fid += f;
-                fid_runs += 1;
-            }
-            discards += sim.discarded_pairs();
-        }
-        thr /= n_runs as f64;
-        let fid = if fid_runs > 0 {
-            fid / fid_runs as f64
-        } else {
-            f64::NAN
+        let plan = CircuitPlan {
+            cutoff,
+            ..base_plan.clone()
         };
+        let points = cutoff_sweep(&seeds, t2, &plan, SimDuration::from_secs(10));
+        let thr = points.iter().map(|p| p.throughput).sum::<f64>() / n_runs as f64;
+        let fid = mean_finite(points.iter().map(|p| p.mean_fidelity));
+        let discards: u64 = points.iter().map(|p| p.discards).sum();
         println!(
             "{:10.1}   {thr:22.2}   {fid:13.4}   {}",
             cutoff.as_millis_f64(),
             discards / n_runs
         );
+        baseline.point(
+            format!("factor={factor}"),
+            &[
+                ("throughput_pairs_per_s", thr),
+                ("mean_fidelity", fid),
+                ("discards", (discards / n_runs) as f64),
+            ],
+        );
     }
     println!("#\n# expected shape: throughput rises then saturates with the cutoff;");
     println!("# fidelity monotonically falls; the 1.5% rule sits near the knee.");
+
+    let path = baseline.write().expect("write baseline");
+    println!(
+        "# baseline: {} ({} threads, wall-clock {:.2} s)",
+        path.display(),
+        qn_exec::threads(),
+        wall_start.elapsed().as_secs_f64()
+    );
 }

@@ -11,21 +11,37 @@
 //! circuit is hit harder ("low, but not zero"); the cutoff beats the
 //! oracle; delay has no effect until it approaches the cutoff.
 //!
-//! Run: `cargo bench --bench fig10_decoherence` (knob: `QNP_RUNS`,
-//! default 3).
+//! Run: `cargo bench --bench fig10_decoherence` (knobs: `QNP_RUNS`
+//! default 3, `QNP_THREADS` sweep workers).
 
-use qn_bench::{fig10ab_scenario, fig10c_scenario, runs, Fig10Variant};
+use qn_bench::{fig10ab_sweep, fig10c_sweep, runs, seed_block, Baseline, Direction, Fig10Variant};
 use qn_sim::SimDuration;
 
 fn main() {
+    let wall_start = std::time::Instant::now();
     let n_runs = runs(3);
     println!("# Figure 10 — decoherence robustness (runs={n_runs})");
 
+    let mut baseline = Baseline::new("fig10_decoherence")
+        .config_num("runs", n_runs as f64)
+        .direction("thr_f09_pairs_per_s", Direction::HigherIsBetter)
+        .direction("thr_f08_pairs_per_s", Direction::HigherIsBetter)
+        .direction("good_f09", Direction::HigherIsBetter)
+        .direction("good_f08", Direction::HigherIsBetter)
+        .direction("raw_f09", Direction::Informational)
+        .direction("raw_f08", Direction::Informational)
+        .direction("cutoff_s", Direction::Informational);
+
     // ---- panels (a, b): throughput vs memory lifetime ------------------
     let t2_values = [0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8, 25.6, 60.0];
+    let ab_seeds = seed_block(3000, n_runs);
     let mut cutoff_thr_at_min = [0.0f64; 2];
     let mut oracle_thr_at_min = [0.0f64; 2];
     for variant in [Fig10Variant::Cutoff, Fig10Variant::OracleBaseline] {
+        let variant_key = match variant {
+            Fig10Variant::Cutoff => "cutoff",
+            Fig10Variant::OracleBaseline => "oracle",
+        };
         println!(
             "#\n# panel a/b — variant: {}",
             match variant {
@@ -35,16 +51,14 @@ fn main() {
         );
         println!("# T2_s   thr_F0.9_pairs_per_s   thr_F0.8_pairs_per_s");
         for (i, t2) in t2_values.iter().enumerate() {
-            let mut a = 0.0;
-            let mut b = 0.0;
-            for seed in 0..n_runs {
-                let p = fig10ab_scenario(3000 + seed, *t2, variant);
-                a += p.thr_f09;
-                b += p.thr_f08;
-            }
-            a /= n_runs as f64;
-            b /= n_runs as f64;
+            let points = fig10ab_sweep(&ab_seeds, *t2, variant);
+            let a = points.iter().map(|p| p.thr_f09).sum::<f64>() / n_runs as f64;
+            let b = points.iter().map(|p| p.thr_f08).sum::<f64>() / n_runs as f64;
             println!("{t2:6.2}   {a:20.2}   {b:20.2}");
+            baseline.point(
+                format!("ab/{variant_key}/t2={t2}"),
+                &[("thr_f09_pairs_per_s", a), ("thr_f08_pairs_per_s", b)],
+            );
             if i == 0 {
                 match variant {
                     Fig10Variant::Cutoff => cutoff_thr_at_min = [a, b],
@@ -58,13 +72,14 @@ fn main() {
     println!("#\n# panel c — throughput vs extra per-hop message delay (T2*=1.6 s)");
     println!("# delay_ms   good_F0.9   good_F0.8   raw_F0.9   raw_F0.8");
     let delays_ms = [0u64, 1, 2, 5, 10, 15, 20, 30, 50, 100];
+    let c_seeds = seed_block(4000, n_runs);
     let mut series_good = Vec::new();
     let mut cutoff_line = f64::NAN;
     for delay in delays_ms {
+        let points = fig10c_sweep(&c_seeds, SimDuration::from_millis(delay));
         let mut good = [0.0f64; 2];
         let mut raw = [0.0f64; 2];
-        for seed in 0..n_runs {
-            let p = fig10c_scenario(4000 + seed, SimDuration::from_millis(delay));
+        for p in &points {
             good[0] += p.good[0];
             good[1] += p.good[1];
             raw[0] += p.raw[0];
@@ -77,6 +92,16 @@ fn main() {
         println!(
             "{delay:8}   {:9.2}   {:9.2}   {:8.2}   {:8.2}",
             good[0], good[1], raw[0], raw[1]
+        );
+        baseline.point(
+            format!("c/delay_ms={delay}"),
+            &[
+                ("good_f09", good[0]),
+                ("good_f08", good[1]),
+                ("raw_f09", raw[0]),
+                ("raw_f08", raw[1]),
+                ("cutoff_s", cutoff_line),
+            ],
         );
         series_good.push((delay as f64 / 1000.0, good[0]));
     }
@@ -119,5 +144,13 @@ fn main() {
     println!(
         "# delay beyond cutoff collapses useful throughput: {}",
         if drop { "PASS" } else { "WARN" }
+    );
+
+    let path = baseline.write().expect("write baseline");
+    println!(
+        "# baseline: {} ({} threads, wall-clock {:.2} s)",
+        path.display(),
+        qn_exec::threads(),
+        wall_start.elapsed().as_secs_f64()
     );
 }

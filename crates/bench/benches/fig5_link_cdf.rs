@@ -4,15 +4,16 @@
 //! Paper anchor: "on average we have to wait 10 ms and … 95 % of
 //! link-pairs are generated within 30 ms."
 //!
-//! Run: `cargo bench --bench fig5_link_cdf` (knob: `QNP_RUNS` samples,
-//! default 5000).
+//! Run: `cargo bench --bench fig5_link_cdf` (knobs: `QNP_RUNS` samples,
+//! default 5000; `QNP_THREADS` sweep workers).
 
-use qn_bench::env_u64;
+use qn_bench::{env_u64, fig5_sweep, Baseline, Direction};
 use qn_hardware::heralding::LinkPhysics;
 use qn_hardware::params::{FibreParams, HardwareParams};
-use qn_sim::{Samples, SimRng};
+use qn_sim::Samples;
 
 fn main() {
+    let wall_start = std::time::Instant::now();
     let samples_n = env_u64("QNP_RUNS", 5_000);
     let physics = LinkPhysics::new(HardwareParams::simulation(), FibreParams::lab_2m());
     let fidelity = 0.95;
@@ -29,11 +30,11 @@ fn main() {
         cycle.as_micros_f64()
     );
 
-    let mut rng = SimRng::substream(1, "fig5");
+    // Chunked sweep: each chunk draws its samples from its own RNG
+    // substream, so the sample set is thread-count independent.
     let mut samples = Samples::new();
-    for _ in 0..samples_n {
-        let attempts = rng.geometric(p);
-        samples.push(cycle.as_millis_f64() * attempts as f64);
+    for chunk_samples in fig5_sweep(250, samples_n, fidelity) {
+        samples.extend(chunk_samples);
     }
 
     println!("#\n# time_ms   fraction_generated");
@@ -56,4 +57,22 @@ fn main() {
         "p95 drifted outside the Fig 5 anchor window"
     );
     println!("# shape check: PASS (geometric CDF, mean and p95 in anchor windows)");
+
+    let mut baseline = Baseline::new("fig5_link_cdf")
+        .config_num("samples", samples.len() as f64)
+        .config_num("fidelity", fidelity)
+        .direction("mean_ms", Direction::LowerIsBetter)
+        .direction("median_ms", Direction::LowerIsBetter)
+        .direction("p95_ms", Direction::LowerIsBetter);
+    baseline.point(
+        "link_generation_time",
+        &[("mean_ms", mean), ("median_ms", p50), ("p95_ms", p95)],
+    );
+    let path = baseline.write().expect("write baseline");
+    println!(
+        "# baseline: {} ({} threads, wall-clock {:.2} s)",
+        path.display(),
+        qn_exec::threads(),
+        wall_start.elapsed().as_secs_f64()
+    );
 }

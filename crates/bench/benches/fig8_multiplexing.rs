@@ -12,17 +12,20 @@
 //!
 //! Run: `cargo bench --bench fig8_multiplexing`
 //! (knobs: `QNP_RUNS` default 3, `QNP_PAIRS` default 40 — the paper uses
-//! 100 runs × 100 pairs; reduced defaults preserve the shapes).
+//! 100 runs × 100 pairs; reduced defaults preserve the shapes —
+//! `QNP_THREADS` sweep workers).
 
-use qn_bench::{fig8_scenario, pairs, runs};
+use qn_bench::{fig8_sweep, mean_finite, pairs, runs, seed_block, Baseline, Direction};
 use qn_routing::CutoffPolicy;
 use qn_sim::SimDuration;
 
 fn main() {
+    let wall_start = std::time::Instant::now();
     let n_runs = runs(3);
     let n_pairs = pairs(40);
     let horizon = SimDuration::from_secs(240);
     let fidelities = [0.9, 0.8];
+    let seeds = seed_block(1000, n_runs);
 
     println!("# Figure 8 — circuit multiplexing latency (runs={n_runs}, pairs/request={n_pairs})");
     let panels: [(&str, usize, CutoffPolicy); 6] = [
@@ -34,49 +37,48 @@ fn main() {
         ("f: 4 circuits, short cutoff", 4, CutoffPolicy::short()),
     ];
 
+    let mut baseline = Baseline::new("fig8_multiplexing")
+        .config_num("runs", n_runs as f64)
+        .config_num("pairs_per_request", n_pairs as f64)
+        .config_num("horizon_s", horizon.as_secs_f64())
+        .direction("mean_latency_s_f09", Direction::LowerIsBetter)
+        .direction("mean_latency_s_f08", Direction::LowerIsBetter)
+        .direction("completed", Direction::HigherIsBetter)
+        .direction("issued", Direction::Informational);
+
     // For the linearity check on panels a/b/d/e.
     let mut panel_latencies: Vec<Vec<f64>> = Vec::new();
 
     for (label, n_circuits, cutoff) in panels {
         println!("#\n# panel {label}");
         println!("# requests   mean_latency_s(F=0.9)   mean_latency_s(F=0.8)   completed");
+        let panel_key = &label[..1];
         let mut lat_f09 = Vec::new();
         for n_requests in 1..=8usize {
             let mut row = Vec::new();
             let mut completed = (0usize, 0usize);
             for f in fidelities {
-                let mut total = 0.0;
-                let mut count = 0usize;
-                let mut done = 0usize;
-                let mut issued = 0usize;
-                for seed in 0..n_runs {
-                    let p = fig8_scenario(
-                        1000 + seed,
-                        n_circuits,
-                        n_requests,
-                        n_pairs,
-                        f,
-                        cutoff,
-                        horizon,
-                    );
-                    if p.mean_latency.is_finite() {
-                        total += p.mean_latency;
-                        count += 1;
-                    }
-                    done += p.completed;
-                    issued += p.issued;
-                }
-                let mean = if count > 0 {
-                    total / count as f64
-                } else {
-                    f64::NAN
-                };
+                let points =
+                    fig8_sweep(&seeds, n_circuits, n_requests, n_pairs, f, cutoff, horizon);
+                let mean = mean_finite(points.iter().map(|p| p.mean_latency));
                 row.push(mean);
-                completed = (done, issued);
+                completed = (
+                    points.iter().map(|p| p.completed).sum(),
+                    points.iter().map(|p| p.issued).sum(),
+                );
             }
             println!(
                 "{n_requests:9}   {:>21.3}   {:>21.3}   {}/{}",
                 row[0], row[1], completed.0, completed.1
+            );
+            baseline.point(
+                format!("panel={panel_key}/requests={n_requests}"),
+                &[
+                    ("mean_latency_s_f09", row[0]),
+                    ("mean_latency_s_f08", row[1]),
+                    ("completed", completed.0 as f64),
+                    ("issued", completed.1 as f64),
+                ],
             );
             lat_f09.push(row[0]);
         }
@@ -109,5 +111,13 @@ fn main() {
     println!(
         "# 4-circuit congestion (panel c {c8:.1}s vs f {f8:.1}s at 8 requests): {}",
         if collapse { "PASS" } else { "WARN" }
+    );
+
+    let path = baseline.write().expect("write baseline");
+    println!(
+        "# baseline: {} ({} threads, wall-clock {:.2} s)",
+        path.display(),
+        qn_exec::threads(),
+        wall_start.elapsed().as_secs_f64()
     );
 }

@@ -9,19 +9,30 @@
 //!   links more often have a pair ready when the bottleneck delivers).
 //!
 //! Run: `cargo bench --bench fig9_latency_throughput`
-//! (knob: `QNP_RUNS`, default 3).
+//! (knobs: `QNP_RUNS` default 3, `QNP_THREADS` sweep workers).
 
-use qn_bench::{fig9_scenario, runs};
+use qn_bench::{fig9_sweep, mean_finite, runs, seed_block, Baseline, Direction};
 use qn_sim::SimDuration;
 
 fn main() {
+    let wall_start = std::time::Instant::now();
     let n_runs = runs(3);
+    let seeds = seed_block(2000, n_runs);
     println!("# Figure 9 — latency vs throughput (runs={n_runs})");
     // Request intervals from sparse to past saturation.
     let intervals_ms: [u64; 8] = [2000, 1000, 500, 300, 200, 150, 100, 70];
 
+    let mut baseline = Baseline::new("fig9_latency_throughput")
+        .config_num("runs", n_runs as f64)
+        .direction("throughput_pairs_per_s", Direction::HigherIsBetter)
+        .direction("mean_latency_s", Direction::LowerIsBetter)
+        .direction("p5_s", Direction::LowerIsBetter)
+        .direction("p95_s", Direction::LowerIsBetter)
+        .direction("requests_measured", Direction::HigherIsBetter);
+
     let mut saturation = [0.0f64; 2];
     for (case_idx, congested) in [false, true].into_iter().enumerate() {
+        let case_key = if congested { "congested" } else { "empty" };
         println!(
             "#\n# case: {}",
             if congested {
@@ -34,31 +45,33 @@ fn main() {
             "# interval_ms   throughput_pairs_per_s   mean_latency_s   p5_s   p95_s   requests"
         );
         for interval in intervals_ms {
-            let mut thr = 0.0;
-            let mut lat = 0.0;
-            let mut p5 = 0.0;
-            let mut p95 = 0.0;
-            let mut measured = 0usize;
-            let mut lat_count = 0usize;
-            for seed in 0..n_runs {
-                let p = fig9_scenario(2000 + seed, congested, SimDuration::from_millis(interval));
-                thr += p.throughput;
-                if p.mean_latency.is_finite() {
-                    lat += p.mean_latency;
-                    p5 += p.p5;
-                    p95 += p.p95;
-                    lat_count += 1;
-                }
-                measured += p.measured;
-            }
-            thr /= n_runs as f64;
-            let (lat, p5, p95) = if lat_count > 0 {
-                let k = lat_count as f64;
-                (lat / k, p5 / k, p95 / k)
-            } else {
-                (f64::NAN, f64::NAN, f64::NAN)
-            };
+            let points = fig9_sweep(&seeds, congested, SimDuration::from_millis(interval));
+            let thr = points.iter().map(|p| p.throughput).sum::<f64>() / n_runs as f64;
+            let lat = mean_finite(points.iter().map(|p| p.mean_latency));
+            let p5 = mean_finite(
+                points
+                    .iter()
+                    .filter(|p| p.mean_latency.is_finite())
+                    .map(|p| p.p5),
+            );
+            let p95 = mean_finite(
+                points
+                    .iter()
+                    .filter(|p| p.mean_latency.is_finite())
+                    .map(|p| p.p95),
+            );
+            let measured: usize = points.iter().map(|p| p.measured).sum();
             println!("{interval:11}   {thr:22.2}   {lat:14.3}   {p5:5.3}  {p95:6.3}   {measured}");
+            baseline.point(
+                format!("{case_key}/interval_ms={interval}"),
+                &[
+                    ("throughput_pairs_per_s", thr),
+                    ("mean_latency_s", lat),
+                    ("p5_s", p5),
+                    ("p95_s", p95),
+                    ("requests_measured", measured as f64),
+                ],
+            );
             saturation[case_idx] = saturation[case_idx].max(thr);
         }
     }
@@ -72,5 +85,13 @@ fn main() {
     println!(
         "# congested saturates at more than half the empty rate: {}",
         if ratio > 0.5 { "PASS" } else { "WARN" }
+    );
+
+    let path = baseline.write().expect("write baseline");
+    println!(
+        "# baseline: {} ({} threads, wall-clock {:.2} s)",
+        path.display(),
+        qn_exec::threads(),
+        wall_start.elapsed().as_secs_f64()
     );
 }

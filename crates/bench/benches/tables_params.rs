@@ -5,6 +5,7 @@
 //!
 //! Run: `cargo bench --bench tables_params`.
 
+use qn_bench::{Baseline, Direction};
 use qn_hardware::params::HardwareParams;
 
 fn fmt_opt(v: Option<f64>, scale: f64, unit: &str) -> String {
@@ -187,4 +188,28 @@ fn main() {
         println!("{name:46} {s:>18} {n:>18}");
     }
     println!("#\n# values asserted against the paper in qn-hardware::params tests");
+
+    // Machine-readable baseline: the numeric parameters, per variant.
+    // Informational only — a change here is a deliberate model edit, not
+    // a performance regression — but the diff still surfaces it.
+    let mut baseline = Baseline::new("tables_params")
+        .direction("electron_t2_s", Direction::Informational)
+        .direction("two_qubit_gate_fidelity", Direction::Informational)
+        .direction("collection_efficiency", Direction::Informational)
+        .direction("p_detection", Direction::Informational)
+        .direction("visibility", Direction::Informational);
+    for (key, p) in [("simulation", &sim), ("near_term", &nt)] {
+        baseline.point(
+            format!("params/{key}"),
+            &[
+                ("electron_t2_s", p.electron_t2),
+                ("two_qubit_gate_fidelity", p.gates.two_qubit.fidelity),
+                ("collection_efficiency", p.collection_efficiency),
+                ("p_detection", p.p_detection),
+                ("visibility", p.visibility),
+            ],
+        );
+    }
+    let path = baseline.write().expect("write baseline");
+    println!("# baseline: {}", path.display());
 }

@@ -4,417 +4,30 @@
 //! `harness = false`, printing the same rows/series the paper plots),
 //! plus Criterion micro-benchmarks of the core data structures.
 //!
-//! The scenario functions live here so the bench targets, integration
-//! tests and examples share one implementation.
+//! The crate is split by responsibility:
+//!
+//! * [`scenarios`] — one simulation run of one configuration at one
+//!   seed; pure functions of their arguments;
+//! * [`sweep`] — the figures' seed loops, hoisted onto the `qn_exec`
+//!   parallel engine (bit-identical to serial at any `QNP_THREADS`);
+//! * [`report`] — machine-readable JSON baselines
+//!   (`target/qnp-bench/<figure>.json`) and the regression differ
+//!   behind `cargo run --example bench_diff`.
 //!
 //! Environment knobs (documented in EXPERIMENTS.md):
 //!
 //! * `QNP_RUNS` — number of seeds averaged per configuration (default
 //!   varies per figure; the paper uses 100);
-//! * `QNP_PAIRS` — pairs per request for Fig 8 (paper: 100).
+//! * `QNP_PAIRS` — pairs per request for Fig 8 (paper: 100);
+//! * `QNP_THREADS` — sweep worker threads (default: available
+//!   parallelism);
+//! * `QNP_BASELINE_DIR` — where JSON baselines land (default
+//!   `target/qnp-bench`).
 
-use qn_hardware::params::{FibreParams, HardwareParams};
-use qn_net::{Address, CircuitId, Demand, RequestId, RequestType, UserRequest};
-use qn_netsim::build::{NetSim, NetworkBuilder};
-use qn_routing::{dumbbell, CircuitPlan, CutoffPolicy, Dumbbell};
-use qn_sim::{NodeId, SimDuration, SimTime};
+pub mod report;
+pub mod scenarios;
+pub mod sweep;
 
-/// Read an env-var knob with a default.
-pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// `QNP_RUNS` (seeds per configuration).
-pub fn runs(default: u64) -> u64 {
-    env_u64("QNP_RUNS", default)
-}
-
-/// `QNP_PAIRS` (pairs per request for Fig 8).
-pub fn pairs(default: u64) -> u64 {
-    env_u64("QNP_PAIRS", default)
-}
-
-/// A KEEP request for `n` pairs without deadline.
-pub fn keep_request(id: u64, head: NodeId, tail: NodeId, f: f64, n: u64) -> UserRequest {
-    UserRequest {
-        id: RequestId(id),
-        head: Address {
-            node: head,
-            identifier: 0,
-        },
-        tail: Address {
-            node: tail,
-            identifier: 0,
-        },
-        min_fidelity: f,
-        demand: Demand::Pairs { n, deadline: None },
-        request_type: RequestType::Keep,
-        final_state: None,
-    }
-}
-
-/// The circuit sets of the Fig 8 panels: 1, 2 or 4 circuits over the
-/// dumbbell, all sharing the MA–MB bottleneck.
-pub fn circuit_pairs(d: &Dumbbell, n_circuits: usize) -> Vec<(NodeId, NodeId)> {
-    match n_circuits {
-        1 => vec![(d.a0, d.b0)],
-        2 => vec![(d.a0, d.b0), (d.a1, d.b1)],
-        4 => vec![(d.a0, d.b0), (d.a1, d.b1), (d.a0, d.b1), (d.a1, d.b0)],
-        _ => panic!("Fig 8 uses 1, 2 or 4 circuits"),
-    }
-}
-
-/// Result of one Fig 8 configuration.
-#[derive(Clone, Copy, Debug)]
-pub struct Fig8Point {
-    /// Mean latency of the completed A0-B0 requests, seconds.
-    pub mean_latency: f64,
-    /// Completed A0-B0 requests.
-    pub completed: usize,
-    /// A0-B0 requests issued.
-    pub issued: usize,
-}
-
-/// Fig 8: `n_requests` simultaneous requests for `n_pairs` each, spread
-/// round-robin over `n_circuits` circuits; returns the A0-B0 request
-/// latency statistics.
-pub fn fig8_scenario(
-    seed: u64,
-    n_circuits: usize,
-    n_requests: usize,
-    n_pairs: u64,
-    fidelity: f64,
-    cutoff: CutoffPolicy,
-    horizon: SimDuration,
-) -> Fig8Point {
-    let (topology, d) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
-    let mut sim = NetworkBuilder::new(topology).seed(seed).build();
-    let pairs = circuit_pairs(&d, n_circuits);
-    let vcs: Vec<CircuitId> = pairs
-        .iter()
-        .map(|(h, t)| {
-            sim.open_circuit(*h, *t, fidelity, cutoff)
-                .expect("circuit plan must be feasible")
-        })
-        .collect();
-    // Requests distributed round-robin (paper: "the circuit A0-B0 handles
-    // the 1st and 5th requests …").
-    let mut a0b0_requests = Vec::new();
-    for i in 0..n_requests {
-        let vc_idx = i % vcs.len();
-        let (h, t) = pairs[vc_idx];
-        let req = keep_request(i as u64 + 1, h, t, fidelity, n_pairs);
-        if vc_idx == 0 {
-            a0b0_requests.push(req.id);
-        }
-        sim.submit_at(SimTime::ZERO, vcs[vc_idx], req);
-    }
-    sim.run_until(SimTime::ZERO + horizon);
-    let app = sim.app();
-    let latencies: Vec<f64> = a0b0_requests
-        .iter()
-        .filter_map(|r| app.request_latency(vcs[0], *r))
-        .map(|l| l.as_secs_f64())
-        .collect();
-    Fig8Point {
-        mean_latency: if latencies.is_empty() {
-            f64::NAN
-        } else {
-            latencies.iter().sum::<f64>() / latencies.len() as f64
-        },
-        completed: latencies.len(),
-        issued: a0b0_requests.len(),
-    }
-}
-
-/// Result of one Fig 9 configuration.
-#[derive(Clone, Copy, Debug)]
-pub struct Fig9Point {
-    /// A0-B0 circuit throughput in the measurement window, pairs/s.
-    pub throughput: f64,
-    /// Mean latency of measured requests, seconds.
-    pub mean_latency: f64,
-    /// 5th percentile latency, seconds.
-    pub p5: f64,
-    /// 95th percentile latency, seconds.
-    pub p95: f64,
-    /// Requests measured.
-    pub measured: usize,
-}
-
-/// Fig 9: 3-pair requests at fixed intervals on A0-B0, with the network
-/// otherwise empty or congested by a long-running A1-B1 flow. Latency is
-/// measured for requests issued after the 40 s mark; throughput over the
-/// same window.
-pub fn fig9_scenario(seed: u64, congested: bool, interval: SimDuration) -> Fig9Point {
-    let (topology, d) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
-    let mut sim = NetworkBuilder::new(topology).seed(seed).build();
-    let fidelity = 0.9;
-    let vc = sim
-        .open_circuit(d.a0, d.b0, fidelity, CutoffPolicy::short())
-        .expect("plan");
-    if congested {
-        let vc2 = sim
-            .open_circuit(d.a1, d.b1, fidelity, CutoffPolicy::short())
-            .expect("plan");
-        sim.submit_at(
-            SimTime::ZERO,
-            vc2,
-            keep_request(1_000_000, d.a1, d.b1, fidelity, u64::MAX / 2),
-        );
-    }
-    let warmup = SimTime::ZERO + SimDuration::from_secs(40);
-    let end = SimTime::ZERO + SimDuration::from_secs(50);
-    let mut t = SimTime::ZERO;
-    let mut id = 1u64;
-    let mut measured_ids = Vec::new();
-    while t < end {
-        let req = keep_request(id, d.a0, d.b0, fidelity, 3);
-        if t >= warmup {
-            measured_ids.push(req.id);
-        }
-        sim.submit_at(t, vc, req);
-        id += 1;
-        t += interval;
-    }
-    sim.run_until(end + SimDuration::from_secs(10));
-    let app = sim.app();
-    let mut lats: Vec<f64> = measured_ids
-        .iter()
-        .filter_map(|r| app.request_latency(vc, *r))
-        .map(|l| l.as_secs_f64())
-        .collect();
-    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let thr = app.confirmed_deliveries(vc, d.a0, warmup, end) as f64 / 10.0;
-    let pct = |q: f64| -> f64 {
-        if lats.is_empty() {
-            f64::NAN
-        } else {
-            lats[((q * (lats.len() - 1) as f64).round() as usize).min(lats.len() - 1)]
-        }
-    };
-    Fig9Point {
-        throughput: thr,
-        mean_latency: if lats.is_empty() {
-            f64::NAN
-        } else {
-            lats.iter().sum::<f64>() / lats.len() as f64
-        },
-        p5: pct(0.05),
-        p95: pct(0.95),
-        measured: lats.len(),
-    }
-}
-
-/// Which Fig 10 protocol variant to run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Fig10Variant {
-    /// The QNP with its cutoff mechanism.
-    Cutoff,
-    /// The "simpler protocol": no cutoffs in the network; end-to-end
-    /// pairs below the fidelity threshold are discarded using the
-    /// simulation oracle (physically impossible outside a simulator).
-    OracleBaseline,
-}
-
-/// Result of one Fig 10a,b configuration: per-circuit throughput.
-#[derive(Clone, Copy, Debug)]
-pub struct Fig10Point {
-    /// Throughput of the F=0.9 circuit (pairs/s counted at the head).
-    pub thr_f09: f64,
-    /// Throughput of the F=0.8 circuit.
-    pub thr_f08: f64,
-}
-
-/// Fig 10a,b: two circuits (A0-B0 at F=0.9, A1-B1 at F=0.8) with
-/// long-running requests sharing the bottleneck; run 20 s of simulated
-/// time at the given memory lifetime and report throughput.
-///
-/// For the cutoff variant every confirmed delivery counts (the cutoff is
-/// the fidelity guarantee); the oracle baseline counts only deliveries
-/// whose true fidelity clears the circuit threshold.
-pub fn fig10ab_scenario(seed: u64, t2: f64, variant: Fig10Variant) -> Fig10Point {
-    let params = HardwareParams::simulation().with_electron_t2(t2);
-    let (topology, d) = dumbbell(params, FibreParams::lab_2m());
-    let mut builder = NetworkBuilder::new(topology).seed(seed);
-    if variant == Fig10Variant::OracleBaseline {
-        builder = builder.disable_cutoff();
-    }
-    let mut sim = builder.build();
-    let horizon = SimDuration::from_secs(20);
-    let mut thr = [0.0f64; 2];
-    let configs = [(d.a0, d.b0, 0.9), (d.a1, d.b1, 0.8)];
-    let mut vcs = Vec::new();
-    for (i, (h, t, f)) in configs.iter().enumerate() {
-        match sim.open_circuit(*h, *t, *f, CutoffPolicy::long()) {
-            Ok(vc) => {
-                sim.submit_at(
-                    SimTime::ZERO,
-                    vc,
-                    keep_request(i as u64 + 1, *h, *t, *f, u64::MAX / 2),
-                );
-                vcs.push(Some(vc));
-            }
-            Err(_) => vcs.push(None), // unattainable at this T2: zero throughput
-        }
-    }
-    sim.run_until(SimTime::ZERO + horizon);
-    let app = sim.app();
-    for (i, (_, _, f)) in configs.iter().enumerate() {
-        if let Some(vc) = vcs[i] {
-            let head = configs[i].0;
-            let count = match variant {
-                Fig10Variant::Cutoff => {
-                    app.confirmed_deliveries(vc, head, SimTime::ZERO, SimTime::MAX)
-                }
-                Fig10Variant::OracleBaseline => {
-                    app.good_deliveries(vc, head, *f, SimTime::ZERO, SimTime::MAX)
-                }
-            };
-            thr[i] = count as f64 / horizon.as_secs_f64();
-        }
-    }
-    Fig10Point {
-        thr_f09: thr[0],
-        thr_f08: thr[1],
-    }
-}
-
-/// Result of one Fig 10c configuration.
-#[derive(Clone, Copy, Debug)]
-pub struct Fig10cPoint {
-    /// Raw delivered throughput of the two circuits (F=0.9, F=0.8).
-    pub raw: [f64; 2],
-    /// Above-threshold ("useful") throughput of the two circuits.
-    pub good: [f64; 2],
-    /// The cutoff the routing assigned (the dashed line of Fig 10c).
-    pub cutoff_s: f64,
-}
-
-/// Fig 10c: throughput vs injected classical message delay at
-/// T2* ≈ 1.6 s.
-pub fn fig10c_scenario(seed: u64, extra_delay: SimDuration) -> Fig10cPoint {
-    let params = HardwareParams::simulation().with_electron_t2(1.6);
-    let (topology, d) = dumbbell(params, FibreParams::lab_2m());
-    let mut sim = NetworkBuilder::new(topology)
-        .seed(seed)
-        .extra_message_delay(extra_delay)
-        .build();
-    let horizon = SimDuration::from_secs(20);
-    let configs = [(d.a0, d.b0, 0.9), (d.a1, d.b1, 0.8)];
-    let mut raw = [0.0; 2];
-    let mut good = [0.0; 2];
-    let mut cutoff_s = f64::NAN;
-    for (i, (h, t, f)) in configs.iter().enumerate() {
-        if let Ok(vc) = sim.open_circuit(*h, *t, *f, CutoffPolicy::long()) {
-            cutoff_s = sim
-                .installed(vc)
-                .map(|inst| inst.plan.cutoff.as_secs_f64())
-                .unwrap_or(f64::NAN);
-            sim.submit_at(
-                SimTime::ZERO,
-                vc,
-                keep_request(i as u64 + 1, *h, *t, *f, u64::MAX / 2),
-            );
-        }
-    }
-    sim.run_until(SimTime::ZERO + horizon);
-    let app = sim.app();
-    for (i, (h, _, f)) in configs.iter().enumerate() {
-        let vc = CircuitId(i as u64 + 1);
-        raw[i] = app.confirmed_deliveries(vc, *h, SimTime::ZERO, SimTime::MAX) as f64
-            / horizon.as_secs_f64();
-        good[i] = app.good_deliveries(vc, *h, *f, SimTime::ZERO, SimTime::MAX) as f64
-            / horizon.as_secs_f64();
-    }
-    Fig10cPoint {
-        raw,
-        good,
-        cutoff_s,
-    }
-}
-
-/// The hand-tuned Fig 11 circuit plan (paper §5.3: manual routing tables,
-/// link fidelities "as high as possible", hand-tuned cutoff).
-pub fn fig11_plan() -> CircuitPlan {
-    CircuitPlan {
-        path: vec![NodeId(0), NodeId(1), NodeId(2)],
-        e2e_fidelity: 0.5,
-        link_fidelity: 0.82,
-        alpha: 0.1, // informational; the link layer solves α itself
-        cutoff: SimDuration::from_millis(1500),
-        max_lpr: 5.0,
-        max_eer: 1.0,
-    }
-}
-
-/// Fig 11: `n_pairs` pairs of fidelity 0.5 over a 3-node, 2 × 25 km
-/// chain on near-term hardware. Returns `(arrival_times_s,
-/// mean_fidelity)`.
-pub fn fig11_scenario(seed: u64, n_pairs: u64) -> (Vec<f64>, f64) {
-    let topology = qn_routing::chain(
-        3,
-        HardwareParams::near_term(),
-        FibreParams::telecom(25_000.0),
-    );
-    let mut sim = NetworkBuilder::new(topology)
-        .seed(seed)
-        .near_term(2)
-        .build();
-    let vc = sim.install_plan(fig11_plan());
-    sim.submit_at(
-        SimTime::ZERO,
-        vc,
-        keep_request(1, NodeId(0), NodeId(2), 0.5, n_pairs),
-    );
-    sim.run_until(SimTime::ZERO + SimDuration::from_secs(3600));
-    let app = sim.app();
-    let times: Vec<f64> = app
-        .delivery_times(vc, NodeId(0))
-        .iter()
-        .map(|t| t.as_secs_f64())
-        .collect();
-    let fidelity = app.mean_fidelity(vc, NodeId(0)).unwrap_or(f64::NAN);
-    (times, fidelity)
-}
-
-/// Convenience: a built dumbbell simulation (used by the micro-benches).
-pub fn quick_dumbbell(seed: u64) -> (NetSim, Dumbbell) {
-    let (topology, d) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
-    (NetworkBuilder::new(topology).seed(seed).build(), d)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fig8_single_circuit_single_request_completes() {
-        let p = fig8_scenario(
-            1,
-            1,
-            1,
-            5,
-            0.8,
-            CutoffPolicy::short(),
-            SimDuration::from_secs(60),
-        );
-        assert_eq!(p.completed, 1);
-        assert!(p.mean_latency > 0.0 && p.mean_latency < 60.0);
-    }
-
-    #[test]
-    fn fig10_point_produces_throughput() {
-        let p = fig10ab_scenario(1, 60.0, Fig10Variant::Cutoff);
-        assert!(p.thr_f09 > 0.0);
-        assert!(p.thr_f08 > p.thr_f09, "lower fidelity circuit is faster");
-    }
-
-    #[test]
-    fn env_knobs_parse() {
-        assert_eq!(env_u64("QNP_NOT_SET_EVER", 7), 7);
-    }
-}
+pub use report::{baseline_dir, diff_baselines, Baseline, DiffKind, DiffReport, Direction, Json};
+pub use scenarios::*;
+pub use sweep::*;

@@ -1,0 +1,97 @@
+//! Scenario diversity: the widened-dumbbell workload axis.
+//!
+//! The paper evaluates a fixed 2×2 dumbbell; the sweep runner makes it
+//! cheap to also ask how the bottleneck behaves as the number of
+//! straight-across circuits contending for MA–MB grows. `width = 2`
+//! with one request per circuit is the Fig 8 panel-b shape.
+
+use super::keep_request;
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_net::CircuitId;
+use qn_netsim::build::NetworkBuilder;
+use qn_routing::{wide_dumbbell, CutoffPolicy};
+use qn_sim::{SimDuration, SimTime};
+
+/// Result of one widened-dumbbell configuration at one seed.
+#[derive(Clone, Copy, Debug)]
+pub struct WideDumbbellPoint {
+    /// Straight-across circuits that completed their request.
+    pub completed: usize,
+    /// Circuits opened (= the width).
+    pub circuits: usize,
+    /// Mean request latency over completed circuits, seconds (NaN if
+    /// none completed).
+    pub mean_latency: f64,
+    /// Aggregate delivered pairs per second across every circuit.
+    pub aggregate_throughput: f64,
+}
+
+/// One run over a `width`-wide dumbbell: one `n_pairs` request per
+/// straight-across circuit (Ai–Bi), all submitted at t = 0 and all
+/// contending for the single MA–MB bottleneck.
+pub fn wide_dumbbell_scenario(
+    seed: u64,
+    width: usize,
+    n_pairs: u64,
+    fidelity: f64,
+    cutoff: CutoffPolicy,
+    horizon: SimDuration,
+) -> WideDumbbellPoint {
+    let (topology, w) = wide_dumbbell(width, HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology).seed(seed).build();
+    let pairs = w.straight_pairs();
+    let vcs: Vec<CircuitId> = pairs
+        .iter()
+        .map(|(h, t)| {
+            sim.open_circuit(*h, *t, fidelity, cutoff)
+                .expect("straight-across circuit plan must be feasible")
+        })
+        .collect();
+    for (i, ((h, t), vc)) in pairs.iter().zip(&vcs).enumerate() {
+        sim.submit_at(
+            SimTime::ZERO,
+            *vc,
+            keep_request(i as u64 + 1, *h, *t, fidelity, n_pairs),
+        );
+    }
+    sim.run_until(SimTime::ZERO + horizon);
+    let app = sim.app();
+    let mut latencies = Vec::new();
+    let mut delivered = 0usize;
+    for (i, ((h, _), vc)) in pairs.iter().zip(&vcs).enumerate() {
+        if let Some(l) = app.request_latency(*vc, qn_net::RequestId(i as u64 + 1)) {
+            latencies.push(l.as_secs_f64());
+        }
+        delivered += app.confirmed_deliveries(*vc, *h, SimTime::ZERO, SimTime::MAX);
+    }
+    WideDumbbellPoint {
+        completed: latencies.len(),
+        circuits: vcs.len(),
+        mean_latency: if latencies.is_empty() {
+            f64::NAN
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        },
+        aggregate_throughput: delivered as f64 / horizon.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_one_completes_its_request() {
+        let p = wide_dumbbell_scenario(
+            1,
+            1,
+            3,
+            0.8,
+            CutoffPolicy::short(),
+            SimDuration::from_secs(60),
+        );
+        assert_eq!(p.circuits, 1);
+        assert_eq!(p.completed, 1);
+        assert!(p.aggregate_throughput > 0.0);
+    }
+}

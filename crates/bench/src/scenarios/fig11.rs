@@ -1,0 +1,51 @@
+//! Fig 11 — the near-future hardware scenario.
+
+use super::keep_request;
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_netsim::build::NetworkBuilder;
+use qn_routing::CircuitPlan;
+use qn_sim::{NodeId, SimDuration, SimTime};
+
+/// The hand-tuned Fig 11 circuit plan (paper §5.3: manual routing tables,
+/// link fidelities "as high as possible", hand-tuned cutoff).
+pub fn fig11_plan() -> CircuitPlan {
+    CircuitPlan {
+        path: vec![NodeId(0), NodeId(1), NodeId(2)],
+        e2e_fidelity: 0.5,
+        link_fidelity: 0.82,
+        alpha: 0.1, // informational; the link layer solves α itself
+        cutoff: SimDuration::from_millis(1500),
+        max_lpr: 5.0,
+        max_eer: 1.0,
+    }
+}
+
+/// Fig 11: `n_pairs` pairs of fidelity 0.5 over a 3-node, 2 × 25 km
+/// chain on near-term hardware. Returns `(arrival_times_s,
+/// mean_fidelity)`.
+pub fn fig11_scenario(seed: u64, n_pairs: u64) -> (Vec<f64>, f64) {
+    let topology = qn_routing::chain(
+        3,
+        HardwareParams::near_term(),
+        FibreParams::telecom(25_000.0),
+    );
+    let mut sim = NetworkBuilder::new(topology)
+        .seed(seed)
+        .near_term(2)
+        .build();
+    let vc = sim.install_plan(fig11_plan());
+    sim.submit_at(
+        SimTime::ZERO,
+        vc,
+        keep_request(1, NodeId(0), NodeId(2), 0.5, n_pairs),
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(3600));
+    let app = sim.app();
+    let times: Vec<f64> = app
+        .delivery_times(vc, NodeId(0))
+        .iter()
+        .map(|t| t.as_secs_f64())
+        .collect();
+    let fidelity = app.mean_fidelity(vc, NodeId(0)).unwrap_or(f64::NAN);
+    (times, fidelity)
+}

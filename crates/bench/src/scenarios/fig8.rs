@@ -1,0 +1,102 @@
+//! Fig 8 — circuit multiplexing latency.
+
+use super::keep_request;
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_net::CircuitId;
+use qn_netsim::build::NetworkBuilder;
+use qn_routing::{dumbbell, CutoffPolicy, Dumbbell};
+use qn_sim::{NodeId, SimDuration, SimTime};
+
+/// The circuit sets of the Fig 8 panels: 1, 2 or 4 circuits over the
+/// dumbbell, all sharing the MA–MB bottleneck.
+pub fn circuit_pairs(d: &Dumbbell, n_circuits: usize) -> Vec<(NodeId, NodeId)> {
+    match n_circuits {
+        1 => vec![(d.a0, d.b0)],
+        2 => vec![(d.a0, d.b0), (d.a1, d.b1)],
+        4 => vec![(d.a0, d.b0), (d.a1, d.b1), (d.a0, d.b1), (d.a1, d.b0)],
+        _ => panic!("Fig 8 uses 1, 2 or 4 circuits"),
+    }
+}
+
+/// Result of one Fig 8 configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig8Point {
+    /// Mean latency of the completed A0-B0 requests, seconds.
+    pub mean_latency: f64,
+    /// Completed A0-B0 requests.
+    pub completed: usize,
+    /// A0-B0 requests issued.
+    pub issued: usize,
+}
+
+/// Fig 8: `n_requests` simultaneous requests for `n_pairs` each, spread
+/// round-robin over `n_circuits` circuits; returns the A0-B0 request
+/// latency statistics.
+pub fn fig8_scenario(
+    seed: u64,
+    n_circuits: usize,
+    n_requests: usize,
+    n_pairs: u64,
+    fidelity: f64,
+    cutoff: CutoffPolicy,
+    horizon: SimDuration,
+) -> Fig8Point {
+    let (topology, d) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology).seed(seed).build();
+    let pairs = circuit_pairs(&d, n_circuits);
+    let vcs: Vec<CircuitId> = pairs
+        .iter()
+        .map(|(h, t)| {
+            sim.open_circuit(*h, *t, fidelity, cutoff)
+                .expect("circuit plan must be feasible")
+        })
+        .collect();
+    // Requests distributed round-robin (paper: "the circuit A0-B0 handles
+    // the 1st and 5th requests …").
+    let mut a0b0_requests = Vec::new();
+    for i in 0..n_requests {
+        let vc_idx = i % vcs.len();
+        let (h, t) = pairs[vc_idx];
+        let req = keep_request(i as u64 + 1, h, t, fidelity, n_pairs);
+        if vc_idx == 0 {
+            a0b0_requests.push(req.id);
+        }
+        sim.submit_at(SimTime::ZERO, vcs[vc_idx], req);
+    }
+    sim.run_until(SimTime::ZERO + horizon);
+    let app = sim.app();
+    let latencies: Vec<f64> = a0b0_requests
+        .iter()
+        .filter_map(|r| app.request_latency(vcs[0], *r))
+        .map(|l| l.as_secs_f64())
+        .collect();
+    Fig8Point {
+        mean_latency: if latencies.is_empty() {
+            f64::NAN
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        },
+        completed: latencies.len(),
+        issued: a0b0_requests.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_single_circuit_single_request_completes() {
+        let p = fig8_scenario(
+            1,
+            1,
+            1,
+            5,
+            0.8,
+            CutoffPolicy::short(),
+            SimDuration::from_secs(60),
+        );
+        assert_eq!(p.completed, 1);
+        assert!(p.mean_latency > 0.0 && p.mean_latency < 60.0);
+    }
+}

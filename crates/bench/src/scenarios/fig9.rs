@@ -1,0 +1,86 @@
+//! Fig 9 — latency vs throughput under congestion.
+
+use super::keep_request;
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_netsim::build::NetworkBuilder;
+use qn_routing::{dumbbell, CutoffPolicy};
+use qn_sim::{SimDuration, SimTime};
+
+/// Result of one Fig 9 configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig9Point {
+    /// A0-B0 circuit throughput in the measurement window, pairs/s.
+    pub throughput: f64,
+    /// Mean latency of measured requests, seconds.
+    pub mean_latency: f64,
+    /// 5th percentile latency, seconds.
+    pub p5: f64,
+    /// 95th percentile latency, seconds.
+    pub p95: f64,
+    /// Requests measured.
+    pub measured: usize,
+}
+
+/// Fig 9: 3-pair requests at fixed intervals on A0-B0, with the network
+/// otherwise empty or congested by a long-running A1-B1 flow. Latency is
+/// measured for requests issued after the 40 s mark; throughput over the
+/// same window.
+pub fn fig9_scenario(seed: u64, congested: bool, interval: SimDuration) -> Fig9Point {
+    let (topology, d) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology).seed(seed).build();
+    let fidelity = 0.9;
+    let vc = sim
+        .open_circuit(d.a0, d.b0, fidelity, CutoffPolicy::short())
+        .expect("plan");
+    if congested {
+        let vc2 = sim
+            .open_circuit(d.a1, d.b1, fidelity, CutoffPolicy::short())
+            .expect("plan");
+        sim.submit_at(
+            SimTime::ZERO,
+            vc2,
+            keep_request(1_000_000, d.a1, d.b1, fidelity, u64::MAX / 2),
+        );
+    }
+    let warmup = SimTime::ZERO + SimDuration::from_secs(40);
+    let end = SimTime::ZERO + SimDuration::from_secs(50);
+    let mut t = SimTime::ZERO;
+    let mut id = 1u64;
+    let mut measured_ids = Vec::new();
+    while t < end {
+        let req = keep_request(id, d.a0, d.b0, fidelity, 3);
+        if t >= warmup {
+            measured_ids.push(req.id);
+        }
+        sim.submit_at(t, vc, req);
+        id += 1;
+        t += interval;
+    }
+    sim.run_until(end + SimDuration::from_secs(10));
+    let app = sim.app();
+    let mut lats: Vec<f64> = measured_ids
+        .iter()
+        .filter_map(|r| app.request_latency(vc, *r))
+        .map(|l| l.as_secs_f64())
+        .collect();
+    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let thr = app.confirmed_deliveries(vc, d.a0, warmup, end) as f64 / 10.0;
+    let pct = |q: f64| -> f64 {
+        if lats.is_empty() {
+            f64::NAN
+        } else {
+            lats[((q * (lats.len() - 1) as f64).round() as usize).min(lats.len() - 1)]
+        }
+    };
+    Fig9Point {
+        throughput: thr,
+        mean_latency: if lats.is_empty() {
+            f64::NAN
+        } else {
+            lats.iter().sum::<f64>() / lats.len() as f64
+        },
+        p5: pct(0.05),
+        p95: pct(0.95),
+        measured: lats.len(),
+    }
+}

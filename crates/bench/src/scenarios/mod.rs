@@ -1,0 +1,53 @@
+//! Scenario functions: one simulation run of one figure configuration
+//! at one seed.
+//!
+//! Every function here is a **pure function of its arguments** — it
+//! builds a fresh topology and simulation, runs it, and returns a plain
+//! point struct. That purity is what lets the sweep layer
+//! ([`crate::sweep`]) farm seeds out to `qn_exec` worker threads while
+//! guaranteeing bit-identical results at any thread count.
+
+mod ablation;
+mod diversity;
+mod fig10;
+mod fig11;
+mod fig8;
+mod fig9;
+
+pub use ablation::{chain_point_scenario, cutoff_point_scenario, ChainPoint, CutoffPoint};
+pub use diversity::{wide_dumbbell_scenario, WideDumbbellPoint};
+pub use fig10::{fig10ab_scenario, fig10c_scenario, Fig10Point, Fig10Variant, Fig10cPoint};
+pub use fig11::{fig11_plan, fig11_scenario};
+pub use fig8::{circuit_pairs, fig8_scenario, Fig8Point};
+pub use fig9::{fig9_scenario, Fig9Point};
+
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_net::{Address, Demand, RequestId, RequestType, UserRequest};
+use qn_netsim::build::{NetSim, NetworkBuilder};
+use qn_routing::{dumbbell, Dumbbell};
+use qn_sim::NodeId;
+
+/// A KEEP request for `n` pairs without deadline.
+pub fn keep_request(id: u64, head: NodeId, tail: NodeId, f: f64, n: u64) -> UserRequest {
+    UserRequest {
+        id: RequestId(id),
+        head: Address {
+            node: head,
+            identifier: 0,
+        },
+        tail: Address {
+            node: tail,
+            identifier: 0,
+        },
+        min_fidelity: f,
+        demand: Demand::Pairs { n, deadline: None },
+        request_type: RequestType::Keep,
+        final_state: None,
+    }
+}
+
+/// Convenience: a built dumbbell simulation (used by the micro-benches).
+pub fn quick_dumbbell(seed: u64) -> (NetSim, Dumbbell) {
+    let (topology, d) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    (NetworkBuilder::new(topology).seed(seed).build(), d)
+}

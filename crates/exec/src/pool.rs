@@ -1,0 +1,152 @@
+//! A hand-rolled, work-distributing thread pool.
+//!
+//! Plain `std::thread` workers pulling boxed jobs off a shared mpsc
+//! channel — the minimal rayon substitute this offline workspace can
+//! afford. Jobs are claimed one at a time, so an idle worker always
+//! takes the next job (work distribution is greedy, not pre-partitioned)
+//! and uneven seed costs balance themselves.
+
+use std::panic;
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool executing `FnOnce` jobs.
+///
+/// Dropping the pool (or calling [`ThreadPool::join`]) closes the job
+/// channel, waits for the workers to drain the queue, and propagates the
+/// first worker panic, if any. Higher-level users that need *all* jobs
+/// to survive a panicking sibling should catch panics inside the job
+/// (as [`crate::run_sweep`] does).
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool of `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("qn-exec-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while claiming, never while
+                        // running a job.
+                        let job = match receiver.lock() {
+                            Ok(guard) => guard.recv(),
+                            // A sibling worker died while claiming; the
+                            // queue is unusable, stop cleanly.
+                            Err(_) => return,
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => return, // channel closed: shut down
+                        }
+                    })
+                    .expect("failed to spawn qn-exec worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue a job. Panics if every worker has already died panicking
+    /// (the queue has no consumers left).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool already joined")
+            .send(Box::new(job))
+            .expect("all qn-exec workers have died; cannot queue more jobs");
+    }
+
+    /// Wait for every queued job to finish and propagate the first
+    /// worker panic, if any.
+    pub fn join(mut self) {
+        self.shutdown(true);
+    }
+
+    fn shutdown(&mut self, propagate: bool) {
+        self.sender.take(); // close the channel: workers drain and exit
+        let mut first_panic = None;
+        for handle in self.workers.drain(..) {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if propagate {
+            if let Some(payload) = first_panic {
+                panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Don't double-panic while unwinding; `join()` is the loud path.
+        self.shutdown(!thread::panicking());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_every_job() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(4);
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(7, Ordering::SeqCst);
+        });
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn join_propagates_worker_panic() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| panic!("boom from a worker"));
+        let err = panic::catch_unwind(panic::AssertUnwindSafe(|| pool.join()))
+            .expect_err("the worker panic must surface in join()");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("boom from a worker"), "payload: {msg:?}");
+    }
+}

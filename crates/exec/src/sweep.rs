@@ -1,0 +1,171 @@
+//! Seed sweeps: run one scenario per seed, in parallel, with results
+//! ordered and bit-identical to the serial path.
+
+use crate::pool::ThreadPool;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// One experiment configuration, runnable at any seed.
+///
+/// Implementations must be pure in the seed: `run(seed)` may not read or
+/// write state shared with other runs, so that a sweep's output is a
+/// function of its seed list alone. Every closure `Fn(u64) -> P` gets a
+/// blanket implementation.
+pub trait Scenario: Send + Sync + 'static {
+    /// The per-seed result ("one point of one curve of one figure").
+    type Point: Send + 'static;
+
+    /// Run the scenario at `seed`.
+    fn run(&self, seed: u64) -> Self::Point;
+}
+
+impl<P, F> Scenario for F
+where
+    P: Send + 'static,
+    F: Fn(u64) -> P + Send + Sync + 'static,
+{
+    type Point = P;
+
+    fn run(&self, seed: u64) -> P {
+        self(seed)
+    }
+}
+
+/// The sweep thread count: `QNP_THREADS`, defaulting to the machine's
+/// available parallelism (at least 1).
+pub fn threads() -> usize {
+    std::env::var("QNP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Run `scenario` once per seed on [`threads()`] workers; results come
+/// back in seed order. See [`run_sweep_with`].
+pub fn run_sweep<S: Scenario>(scenario: S, seeds: &[u64]) -> Vec<S::Point> {
+    run_sweep_with(threads(), scenario, seeds)
+}
+
+/// Run `scenario` once per seed on `threads` workers.
+///
+/// Guarantees, for any thread count (including 1, the serial fast
+/// path):
+///
+/// * `result[i]` is `scenario.run(seeds[i])` — results are committed by
+///   job index, never by completion order;
+/// * the output is **bit-identical** to the serial loop, because each
+///   run is a pure function of its seed;
+/// * if any run panics, the panic of the **first failing seed** (in seed
+///   order) is re-raised here after all runs finish, so failures are as
+///   deterministic as successes.
+pub fn run_sweep_with<S: Scenario>(threads: usize, scenario: S, seeds: &[u64]) -> Vec<S::Point> {
+    if threads <= 1 || seeds.len() <= 1 {
+        return seeds.iter().map(|&seed| scenario.run(seed)).collect();
+    }
+
+    let scenario = Arc::new(scenario);
+    let pool = ThreadPool::new(threads.min(seeds.len()));
+    let (tx, rx) = mpsc::channel();
+    for (idx, &seed) in seeds.iter().enumerate() {
+        let scenario = Arc::clone(&scenario);
+        let tx = tx.clone();
+        pool.execute(move || {
+            // Catch so one bad seed cannot starve the rest of the sweep
+            // (and so the panic can be re-raised in deterministic order).
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| scenario.run(seed)));
+            // The receiver only disappears if the submitting thread is
+            // already unwinding; nothing left to report to.
+            let _ = tx.send((idx, outcome));
+        });
+    }
+    drop(tx);
+
+    let mut slots: Vec<Option<std::thread::Result<S::Point>>> =
+        (0..seeds.len()).map(|_| None).collect();
+    for _ in 0..seeds.len() {
+        let (idx, outcome) = rx
+            .recv()
+            .expect("qn-exec worker died without reporting a result");
+        slots[idx] = Some(outcome);
+    }
+    pool.join();
+
+    let mut points = Vec::with_capacity(seeds.len());
+    for slot in slots {
+        match slot.expect("every slot was filled above") {
+            Ok(point) => points.push(point),
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_seed_order() {
+        // Make early seeds slow so completion order inverts seed order.
+        let seeds: Vec<u64> = (0..16).collect();
+        let out = run_sweep_with(
+            4,
+            |seed: u64| {
+                std::thread::sleep(std::time::Duration::from_millis(16 - seed.min(15)));
+                seed * 10
+            },
+            &seeds,
+        );
+        assert_eq!(out, seeds.iter().map(|s| s * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let seeds: Vec<u64> = (0..40).collect();
+        let f = |seed: u64| {
+            // A deterministic but seed-sensitive computation.
+            let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15) ^ 0xdead_beef;
+            for _ in 0..100 {
+                x = x.rotate_left(17).wrapping_mul(0xc2b2ae3d27d4eb4f);
+            }
+            x
+        };
+        let serial = run_sweep_with(1, f, &seeds);
+        for threads in [2, 3, 8] {
+            assert_eq!(run_sweep_with(threads, f, &seeds), serial);
+        }
+    }
+
+    #[test]
+    fn first_failing_seed_panic_wins() {
+        let seeds: Vec<u64> = (0..8).collect();
+        let err = panic::catch_unwind(|| {
+            run_sweep_with(
+                4,
+                |seed: u64| {
+                    if seed >= 3 {
+                        panic!("seed {seed} failed");
+                    }
+                    seed
+                },
+                &seeds,
+            )
+        })
+        .expect_err("sweep must propagate the panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(msg, "seed 3 failed");
+    }
+
+    #[test]
+    fn empty_and_singleton_sweeps() {
+        let none: Vec<u64> = run_sweep_with(8, |s: u64| s, &[]);
+        assert!(none.is_empty());
+        assert_eq!(run_sweep_with(8, |s: u64| s + 1, &[41]), vec![42]);
+    }
+}

@@ -50,3 +50,16 @@ pub use app::{AppHarness, DeliveryRecord, Payload};
 pub use build::{NetSim, NetworkBuilder};
 pub use estimation::FidelityEstimator;
 pub use runtime::{Ev, NetworkModel, RuntimeConfig};
+
+// The qn_exec sweep runner builds and runs whole simulations on worker
+// threads, so the façade types must stay `Send`. Checked at compile
+// time: introducing an `Rc`/`RefCell` anywhere in the stack breaks this
+// build, not a bench run three layers up.
+#[allow(dead_code)]
+fn _netsim_types_are_send() {
+    fn is_send<T: Send>() {}
+    is_send::<NetSim>();
+    is_send::<NetworkBuilder>();
+    is_send::<NetworkModel>();
+    is_send::<AppHarness>();
+}

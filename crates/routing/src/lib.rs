@@ -25,4 +25,6 @@ pub mod topology;
 pub use budget::CutoffPolicy;
 pub use controller::{CircuitPlan, Controller, PlanError};
 pub use signalling::{InstalledCircuit, Signaller};
-pub use topology::{chain, dumbbell, ring, Dumbbell, LinkSpec, Topology};
+pub use topology::{
+    chain, dumbbell, ring, wide_dumbbell, Dumbbell, LinkSpec, Topology, WideDumbbell,
+};

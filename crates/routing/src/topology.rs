@@ -138,24 +138,81 @@ pub struct Dumbbell {
     pub b1: NodeId,
 }
 
+/// Named handles for a widened dumbbell: `width` end-nodes per side
+/// around the same MA–MB bottleneck (the scenario-diversity axis of the
+/// sweep runner; `width = 2` is exactly the paper's Fig 7 topology).
+#[derive(Clone, Debug)]
+pub struct WideDumbbell {
+    /// A-side end-nodes A0..A(width-1).
+    pub ends_a: Vec<NodeId>,
+    /// Router MA (A-side of the bottleneck).
+    pub ma: NodeId,
+    /// Router MB (B-side of the bottleneck).
+    pub mb: NodeId,
+    /// B-side end-nodes B0..B(width-1).
+    pub ends_b: Vec<NodeId>,
+}
+
+impl WideDumbbell {
+    /// End-nodes per side.
+    pub fn width(&self) -> usize {
+        self.ends_a.len()
+    }
+
+    /// The straight-across circuit endpoints (Ai, Bi).
+    pub fn straight_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.ends_a
+            .iter()
+            .zip(&self.ends_b)
+            .map(|(a, b)| (*a, *b))
+            .collect()
+    }
+}
+
+/// Build a dumbbell with `width` end-nodes per side: A0..Aw — MA — MB —
+/// B0..Bw with identical links; MA–MB is the shared bottleneck. Node
+/// ids: A-side ends first, then MA, MB, then the B-side ends (so
+/// `width = 2` reproduces the Fig 7 numbering exactly).
+pub fn wide_dumbbell(
+    width: usize,
+    params: HardwareParams,
+    fibre: FibreParams,
+) -> (Topology, WideDumbbell) {
+    assert!(
+        width >= 1,
+        "a dumbbell needs at least one end-node per side"
+    );
+    let w = width as u32;
+    let handles = WideDumbbell {
+        ends_a: (0..w).map(NodeId).collect(),
+        ma: NodeId(w),
+        mb: NodeId(w + 1),
+        ends_b: (0..w).map(|i| NodeId(w + 2 + i)).collect(),
+    };
+    let mut t = Topology::new();
+    let phys = LinkPhysics::new(params, fibre);
+    for a in &handles.ends_a {
+        t.add_link(*a, handles.ma, phys.clone());
+    }
+    t.add_link(handles.ma, handles.mb, phys.clone());
+    for b in &handles.ends_b {
+        t.add_link(handles.mb, *b, phys.clone());
+    }
+    (t, handles)
+}
+
 /// Build the Fig 7 dumbbell: A0,A1 — MA — MB — B0,B1 with identical
 /// links; MA–MB is the bottleneck.
 pub fn dumbbell(params: HardwareParams, fibre: FibreParams) -> (Topology, Dumbbell) {
-    let mut t = Topology::new();
+    let (t, wide) = wide_dumbbell(2, params, fibre);
     let handles = Dumbbell {
-        a0: NodeId(0),
-        a1: NodeId(1),
-        ma: NodeId(2),
-        mb: NodeId(3),
-        b0: NodeId(4),
-        b1: NodeId(5),
+        a0: wide.ends_a[0],
+        a1: wide.ends_a[1],
+        ma: wide.ma,
+        mb: wide.mb,
+        b0: wide.ends_b[0],
+        b1: wide.ends_b[1],
     };
-    let phys = LinkPhysics::new(params, fibre);
-    t.add_link(handles.a0, handles.ma, phys.clone());
-    t.add_link(handles.a1, handles.ma, phys.clone());
-    t.add_link(handles.ma, handles.mb, phys.clone());
-    t.add_link(handles.mb, handles.b0, phys.clone());
-    t.add_link(handles.mb, handles.b1, phys);
     (t, handles)
 }
 
@@ -247,6 +304,43 @@ mod tests {
         let p2 = t.shortest_path(NodeId(0), NodeId(3)).unwrap();
         assert_eq!(p1, p2);
         assert_eq!(p1.len(), 4);
+    }
+
+    #[test]
+    fn wide_dumbbell_matches_fig7_at_width_2() {
+        let (p, f) = lab();
+        let (tw, w) = wide_dumbbell(2, p, f);
+        let (td, d) = dumbbell(p, f);
+        assert_eq!(tw.links().len(), td.links().len());
+        for (lw, ld) in tw.links().iter().zip(td.links()) {
+            assert_eq!((lw.a, lw.b), (ld.a, ld.b));
+        }
+        assert_eq!(w.straight_pairs(), vec![(d.a0, d.b0), (d.a1, d.b1)]);
+    }
+
+    #[test]
+    fn wide_dumbbell_routes_through_the_bottleneck() {
+        let (p, f) = lab();
+        let (t, w) = wide_dumbbell(4, p, f);
+        assert_eq!(t.nodes().len(), 10);
+        assert_eq!(t.links().len(), 9);
+        for (a, b) in w.straight_pairs() {
+            let path = t.shortest_path(a, b).unwrap();
+            assert_eq!(path, vec![a, w.ma, w.mb, b]);
+        }
+    }
+
+    #[test]
+    fn routing_types_are_send() {
+        // The qn_exec sweep runner moves topologies and plans across
+        // worker threads; these bounds must never regress.
+        fn is_send_sync<T: Send + Sync>() {}
+        is_send_sync::<Topology>();
+        is_send_sync::<LinkSpec>();
+        is_send_sync::<Dumbbell>();
+        is_send_sync::<WideDumbbell>();
+        is_send_sync::<crate::CircuitPlan>();
+        is_send_sync::<crate::CutoffPolicy>();
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! * cases are sampled from a **deterministic** per-test RNG (seeded from
 //!   the test name), so CI failures reproduce locally without a seed file;
 //! * there is **no shrinking** — a failing case reports the assertion
-//!   message and the case number, not a minimised input.
+//!   message, the case number and the `Debug` rendering of every
+//!   generated input (strategy values must therefore be `Debug`), not a
+//!   minimised input.
 
 pub mod test_runner {
     use rand::rngs::StdRng;
@@ -550,9 +552,21 @@ macro_rules! proptest {
                 let mut case: u64 = 0;
                 while passed < config.cases {
                     case += 1;
+                    // Sample into a temporary first and render it with
+                    // `Debug` before the pattern binding can move it, so
+                    // a failing case can report the exact generated
+                    // inputs (no shrinking, but full visibility).
+                    let mut __qnp_inputs: ::std::vec::Vec<::std::string::String> =
+                        ::std::vec::Vec::new();
                     $(
-                        let $arg =
+                        let __qnp_value =
                             $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                        __qnp_inputs.push(::std::format!(
+                            "{} = {:?}",
+                            stringify!($arg),
+                            &__qnp_value
+                        ));
+                        let $arg = __qnp_value;
                     )+
                     let outcome: $crate::test_runner::TestCaseResult = (|| {
                         $body
@@ -575,7 +589,13 @@ macro_rules! proptest {
                         ::core::result::Result::Err(
                             $crate::test_runner::TestCaseError::Fail(msg),
                         ) => {
-                            panic!("{} failed at case {}:\n{}", stringify!($name), case, msg);
+                            panic!(
+                                "{} failed at case {}:\n{}\nfailing inputs:\n  {}",
+                                stringify!($name),
+                                case,
+                                msg,
+                                __qnp_inputs.join("\n  ")
+                            );
                         }
                     }
                 }
@@ -651,5 +671,27 @@ mod tests {
             }
         }
         inner();
+    }
+
+    /// The failure message must carry the `Debug` rendering of every
+    /// generated input, named after its binding pattern.
+    #[test]
+    fn failure_message_reports_generated_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            #[allow(dead_code)]
+            fn inner(xs in crate::collection::vec(7u64..8, 2), flag in Just(true)) {
+                prop_assert!(!flag, "flag was set");
+            }
+        }
+        let payload = std::panic::catch_unwind(inner).expect_err("inner must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("failing inputs:"), "message: {msg}");
+        assert!(msg.contains("xs = [7, 7]"), "message: {msg}");
+        assert!(msg.contains("flag = true"), "message: {msg}");
     }
 }
