@@ -1,0 +1,132 @@
+//! Edge cases of the sweep runner: degenerate seed lists, thread
+//! counts exceeding the work, and deterministic panic propagation.
+
+use qn_exec::{run_sweep_with, threads, ThreadPool};
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A zero-seed sweep is a no-op at any thread count — no workers are
+/// spun up for nothing, and the result is simply empty.
+#[test]
+fn zero_seed_sweeps_are_empty() {
+    for threads in [1usize, 2, 8, 64] {
+        let out: Vec<u64> = run_sweep_with(threads, |s: u64| s * 3, &[]);
+        assert!(out.is_empty(), "threads={threads}");
+    }
+}
+
+/// More workers than seeds: every seed still runs exactly once and
+/// results stay in seed order.
+#[test]
+fn more_threads_than_seeds() {
+    let runs = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&runs);
+    let seeds = [10u64, 20, 30];
+    let out = run_sweep_with(
+        64,
+        move |seed: u64| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            seed + 1
+        },
+        &seeds,
+    );
+    assert_eq!(out, vec![11, 21, 31]);
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        3,
+        "each seed runs exactly once"
+    );
+}
+
+/// The pool itself clamps to the job count's worth of useful workers
+/// only via scheduling — constructing a pool wider than the work must
+/// still drain and join cleanly.
+#[test]
+fn oversized_pool_joins_cleanly() {
+    let pool = ThreadPool::new(32);
+    let done = Arc::new(AtomicUsize::new(0));
+    let d = Arc::clone(&done);
+    pool.execute(move || {
+        d.fetch_add(1, Ordering::SeqCst);
+    });
+    pool.join();
+    assert_eq!(done.load(Ordering::SeqCst), 1);
+}
+
+/// When several seeds panic, the panic re-raised is the one of the
+/// *first failing seed index* — even if a later seed finishes (and
+/// fails) first. Failures are as deterministic as successes.
+#[test]
+fn first_failing_seed_wins_regardless_of_completion_order() {
+    let seeds: Vec<u64> = (0..8).collect();
+    let err = panic::catch_unwind(|| {
+        run_sweep_with(
+            4,
+            |seed: u64| {
+                if seed == 2 {
+                    // The earliest failing seed is also the slowest.
+                    std::thread::sleep(Duration::from_millis(50));
+                    panic!("seed index 2 failed");
+                }
+                if seed >= 5 {
+                    panic!("seed index {seed} failed");
+                }
+                seed
+            },
+            &seeds,
+        )
+    })
+    .expect_err("sweep must propagate a panic");
+    let msg = err
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| err.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert_eq!(msg, "seed index 2 failed");
+}
+
+/// A panic at the very first seed index propagates with its payload.
+#[test]
+fn panic_at_index_zero_propagates() {
+    let err = panic::catch_unwind(|| {
+        run_sweep_with(
+            3,
+            |seed: u64| {
+                if seed == 7 {
+                    panic!("boom at the head");
+                }
+                seed
+            },
+            &[7, 8, 9],
+        )
+    })
+    .expect_err("sweep must propagate the panic");
+    let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "boom at the head");
+}
+
+/// `QNP_THREADS` parsing: positive integers are honoured, zero and
+/// garbage fall back to the detected default. Runs in one test to keep
+/// the env-var mutation sequential.
+#[test]
+fn qnp_threads_parsing() {
+    let default = {
+        std::env::remove_var("QNP_THREADS");
+        threads()
+    };
+    assert!(default >= 1);
+
+    std::env::set_var("QNP_THREADS", "3");
+    assert_eq!(threads(), 3);
+
+    std::env::set_var("QNP_THREADS", "0");
+    assert_eq!(threads(), default, "zero is not a valid worker count");
+
+    std::env::set_var("QNP_THREADS", "not-a-number");
+    assert_eq!(threads(), default);
+
+    std::env::remove_var("QNP_THREADS");
+    assert_eq!(threads(), default);
+}

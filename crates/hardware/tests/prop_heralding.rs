@@ -1,16 +1,227 @@
 //! Property tests for the single-click heralding model and the pair
-//! store's physical invariants.
+//! store's physical invariants, plus a `qn_testkit` model test of the
+//! store's bookkeeping under chain extension / swap / discard.
 
 use proptest::prelude::*;
 use qn_hardware::device::QubitId;
 use qn_hardware::heralding::LinkPhysics;
-use qn_hardware::pairs::{PairStore, SwapNoise};
+use qn_hardware::pairs::{PairId, PairStore, SwapNoise};
 use qn_hardware::params::{FibreParams, HardwareParams};
 use qn_quantum::bell::BellState;
 use qn_sim::{NodeId, SimDuration, SimRng, SimTime};
+use qn_testkit::{ModelSpec, ModelTest};
+use std::collections::VecDeque;
 
 fn lab() -> LinkPhysics {
     LinkPhysics::new(HardwareParams::simulation(), FibreParams::lab_2m())
+}
+
+/// Chain bookkeeping model for the pair store: a repeater chain is
+/// extended pair by pair, swapped at its left end, and discarded —
+/// exactly the lifecycle the QNP runtime drives. The model tracks pair
+/// liveness, endpoint nodes and the announced-state XOR algebra; the
+/// system is the real `PairStore` with its noisy swap circuit.
+mod chain_model {
+    use super::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum ChainOp {
+        /// Create a pair extending the chain one node to the right,
+        /// announced as Ψ⁻ (`minus`) or Ψ⁺.
+        Extend { minus: bool },
+        /// Entanglement-swap the two leftmost pairs at their shared node.
+        SwapFront,
+        /// Discard the leftmost pair.
+        DiscardFront,
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Segment {
+        pub left: u32,
+        pub right: u32,
+        pub announced: BellState,
+    }
+
+    pub struct ChainSystem {
+        pub store: PairStore,
+        pub pairs: VecDeque<PairId>,
+        pub noise: SwapNoise,
+        pub rng: SimRng,
+        pub next_node: u32,
+    }
+
+    pub struct ChainSpec;
+
+    impl ModelSpec for ChainSpec {
+        type Op = ChainOp;
+        type Model = VecDeque<Segment>;
+        type System = ChainSystem;
+
+        fn new_model(&self) -> VecDeque<Segment> {
+            VecDeque::new()
+        }
+
+        fn new_system(&self) -> ChainSystem {
+            ChainSystem {
+                store: PairStore::new(),
+                pairs: VecDeque::new(),
+                noise: SwapNoise::from_params(&HardwareParams::simulation()),
+                rng: SimRng::from_seed(7),
+                next_node: 0,
+            }
+        }
+
+        fn op_strategy(&self) -> BoxedStrategy<ChainOp> {
+            prop_oneof![
+                any::<bool>().prop_map(|minus| ChainOp::Extend { minus }),
+                Just(ChainOp::SwapFront),
+                Just(ChainOp::DiscardFront),
+            ]
+            .boxed()
+        }
+
+        fn precondition(&self, model: &VecDeque<Segment>, op: &ChainOp) -> bool {
+            match op {
+                ChainOp::Extend { .. } => model.len() < 6,
+                ChainOp::SwapFront => model.len() >= 2,
+                ChainOp::DiscardFront => !model.is_empty(),
+            }
+        }
+
+        fn apply(
+            &self,
+            model: &mut VecDeque<Segment>,
+            system: &mut ChainSystem,
+            op: &ChainOp,
+        ) -> Result<(), String> {
+            match *op {
+                ChainOp::Extend { minus } => {
+                    let announced = if minus {
+                        BellState::PSI_MINUS
+                    } else {
+                        BellState::PSI_PLUS
+                    };
+                    let (l, r) = (system.next_node, system.next_node + 1);
+                    system.next_node += 1;
+                    let id = system.store.create(
+                        SimTime::ZERO,
+                        announced.density(),
+                        announced,
+                        [
+                            (NodeId(l), QubitId(0), 3600.0, 60.0),
+                            (NodeId(r), QubitId(1), 3600.0, 60.0),
+                        ],
+                    );
+                    system.pairs.push_back(id);
+                    model.push_back(Segment {
+                        left: l,
+                        right: r,
+                        announced,
+                    });
+                    Ok(())
+                }
+                ChainOp::SwapFront => {
+                    let (sa, sb) = (model[0], model[1]);
+                    if sa.right != sb.left {
+                        return Err(format!("model chain discontiguous: {sa:?} then {sb:?}"));
+                    }
+                    let (pa, pb) = (system.pairs[0], system.pairs[1]);
+                    let res = system.store.swap(
+                        pa,
+                        pb,
+                        NodeId(sa.right),
+                        SimTime::ZERO,
+                        &system.noise,
+                        &mut system.rng,
+                    );
+                    if system.store.contains(pa) || system.store.contains(pb) {
+                        return Err("swap must consume both input pairs".to_string());
+                    }
+                    let joined = system
+                        .store
+                        .get(res.new_pair)
+                        .ok_or("joined pair missing from the store")?;
+                    let ends = joined.ends();
+                    if ends[0].node != NodeId(sa.left) || ends[1].node != NodeId(sb.right) {
+                        return Err(format!(
+                            "joined pair spans ({}, {}), model expected ({}, {})",
+                            ends[0].node, ends[1].node, sa.left, sb.right
+                        ));
+                    }
+                    if res.freed.iter().any(|(n, _)| *n != NodeId(sa.right)) {
+                        return Err(format!(
+                            "freed qubits {:?} not all at the swap node n{}",
+                            res.freed, sa.right
+                        ));
+                    }
+                    // The announced state must follow the XOR algebra.
+                    let expected = sa.announced.combine(sb.announced, res.outcome);
+                    if joined.announced != expected {
+                        return Err(format!(
+                            "announced {} after swap, model expected {expected}",
+                            joined.announced
+                        ));
+                    }
+                    system.pairs.pop_front();
+                    system.pairs.pop_front();
+                    system.pairs.push_front(res.new_pair);
+                    model.pop_front();
+                    model.pop_front();
+                    model.push_front(Segment {
+                        left: sa.left,
+                        right: sb.right,
+                        announced: expected,
+                    });
+                    Ok(())
+                }
+                ChainOp::DiscardFront => {
+                    let seg = model.pop_front().expect("precondition");
+                    let id = system.pairs.pop_front().expect("precondition");
+                    let freed = system
+                        .store
+                        .discard(id)
+                        .ok_or("discard of a live pair returned None")?;
+                    let nodes: Vec<u32> = freed.iter().map(|(n, _)| n.0).collect();
+                    if nodes != vec![seg.left, seg.right] {
+                        return Err(format!(
+                            "discard freed {nodes:?}, model expected [{}, {}]",
+                            seg.left, seg.right
+                        ));
+                    }
+                    if system.store.contains(id) {
+                        return Err("discarded pair still in the store".to_string());
+                    }
+                    Ok(())
+                }
+            }
+        }
+
+        fn invariants(
+            &self,
+            model: &VecDeque<Segment>,
+            system: &ChainSystem,
+        ) -> Result<(), String> {
+            if system.store.len() != model.len() {
+                return Err(format!(
+                    "live pairs: store {} vs model {}",
+                    system.store.len(),
+                    model.len()
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Random extend/swap/discard sequences: the pair store's bookkeeping
+/// (liveness, endpoints, freed qubits, announced-state algebra) must
+/// match the chain model.
+#[test]
+fn pair_store_matches_chain_model() {
+    ModelTest::new("hardware_pair_store_matches_model", chain_model::ChainSpec)
+        .cases(128)
+        .max_ops(40)
+        .run();
 }
 
 proptest! {

@@ -1,5 +1,13 @@
-//! Property tests for the link layer protocol: invariants under random
-//! operation sequences.
+//! Link-layer protocol tests: model-based behaviour checking plus
+//! shrinkable physics properties.
+//!
+//! The old ad-hoc invariant property (one generation in flight,
+//! increasing sequence numbers, no over-delivery) is replaced by the
+//! `qn_testkit` model test, which is strictly stronger: the reference
+//! model predicts the *exact* admission decision, schedule (which
+//! label generates next, under weighted time-sharing), delivered-pair
+//! fields and lifecycle events for every operation — and a divergence
+//! shrinks to a minimal operation sequence.
 
 use proptest::prelude::*;
 use qn_hardware::heralding::LinkPhysics;
@@ -7,102 +15,21 @@ use qn_hardware::params::{FibreParams, HardwareParams};
 use qn_link::{LinkLabel, LinkProtocol, LinkRequest, PairDemand};
 use qn_quantum::bell::BellState;
 use qn_sim::{NodeId, SimDuration};
+use qn_testkit::models::link::LinkSpec;
+use qn_testkit::ModelTest;
 
-#[derive(Clone, Debug)]
-enum Op {
-    Submit {
-        label: u8,
-        fidelity_pct: u8,
-        count: u8,
-    },
-    Stop {
-        label: u8,
-    },
-    Drive, // start + complete one generation if possible
-    Abort, // start then abort
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..6, 70u8..96, 1u8..5).prop_map(|(label, fidelity_pct, count)| Op::Submit {
-            label,
-            fidelity_pct,
-            count
-        }),
-        (0u8..6).prop_map(|label| Op::Stop { label }),
-        Just(Op::Drive),
-        Just(Op::Abort),
-    ]
+/// Random submit/stop/reweight/drive/abort sequences: the protocol
+/// must match the reference state machine on every observable.
+#[test]
+fn protocol_matches_reference_model() {
+    ModelTest::new("link_protocol_matches_model", LinkSpec::new())
+        .cases(160)
+        .max_ops(64)
+        .run();
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Under arbitrary interleavings: at most one generation in flight,
-    /// next_action only points at live requests, sequence numbers are
-    /// strictly increasing, and pair counts never exceed the request's
-    /// demand.
-    #[test]
-    fn protocol_invariants_under_random_ops(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        let physics = LinkPhysics::new(HardwareParams::simulation(), FibreParams::lab_2m());
-        let mut p = LinkProtocol::new((NodeId(0), NodeId(1)), physics);
-        let mut last_seq: Option<u64> = None;
-        let mut delivered: std::collections::HashMap<LinkLabel, u64> = Default::default();
-        let mut demanded: std::collections::HashMap<LinkLabel, u64> = Default::default();
-
-        for op in ops {
-            match op {
-                Op::Submit { label, fidelity_pct, count } => {
-                    let label = LinkLabel(label as u32);
-                    let req = LinkRequest {
-                        label,
-                        min_fidelity: fidelity_pct as f64 / 100.0,
-                        demand: PairDemand::Count(count as u64),
-                        weight: 1.0,
-                    };
-                    let had = p.has_request(label);
-                    let evs = p.submit(req);
-                    if !had && evs.is_empty() {
-                        demanded.insert(label, count as u64);
-                        delivered.insert(label, 0);
-                    }
-                }
-                Op::Stop { label } => {
-                    p.stop(LinkLabel(label as u32));
-                }
-                Op::Drive => {
-                    if let Some(spec) = p.next_action() {
-                        prop_assert!(p.has_request(spec.label), "action for dead request");
-                        prop_assert!(spec.alpha > 0.0 && spec.alpha <= 0.5);
-                        p.on_generation_started(spec.label);
-                        prop_assert!(p.next_action().is_none(), "two concurrent generations");
-                        let (pair, _evs) = p.on_generation_complete(
-                            BellState::PSI_PLUS,
-                            10,
-                            SimDuration::from_millis(1),
-                        );
-                        // Sequence numbers strictly increase link-wide.
-                        if let Some(prev) = last_seq {
-                            prop_assert!(pair.id.seq > prev);
-                        }
-                        last_seq = Some(pair.id.seq);
-                        let d = delivered.entry(pair.label).or_insert(0);
-                        *d += 1;
-                        if let Some(n) = demanded.get(&pair.label) {
-                            prop_assert!(*d <= *n, "over-delivered {} of {}", d, n);
-                        }
-                    }
-                }
-                Op::Abort => {
-                    if let Some(spec) = p.next_action() {
-                        p.on_generation_started(spec.label);
-                        p.on_generation_aborted(spec.label, SimDuration::from_micros(100));
-                        prop_assert!(p.generating().is_none());
-                    }
-                }
-            }
-        }
-    }
 
     /// Goodness (the link layer's fidelity estimate) always meets the
     /// requested minimum, for any attainable request.
@@ -126,5 +53,38 @@ proptest! {
         );
         prop_assert!(pair.goodness >= fidelity - 1e-9,
             "goodness {} below requested {}", pair.goodness, fidelity);
+    }
+
+    /// The schedule never starves anyone: with N equal-weight
+    /// continuous requests and equal-cost slots, any window of 2N
+    /// consecutive slots serves every label at least once.
+    #[test]
+    fn equal_weights_never_starve(n in 2usize..5, slots in 10usize..40) {
+        let physics = LinkPhysics::new(HardwareParams::simulation(), FibreParams::lab_2m());
+        let mut p = LinkProtocol::new((NodeId(0), NodeId(1)), physics);
+        for label in 0..n {
+            let evs = p.submit(LinkRequest {
+                label: LinkLabel(label as u32),
+                min_fidelity: 0.85,
+                demand: PairDemand::Continuous,
+                weight: 1.0,
+            });
+            prop_assert!(evs.is_empty());
+        }
+        let mut history = Vec::new();
+        for _ in 0..slots {
+            let spec = p.next_action().unwrap();
+            history.push(spec.label);
+            p.on_generation_started(spec.label);
+            p.on_generation_complete(BellState::PSI_PLUS, 1, SimDuration::from_millis(1));
+        }
+        for window in history.windows(2 * n) {
+            for label in 0..n {
+                prop_assert!(
+                    window.contains(&LinkLabel(label as u32)),
+                    "label {label} starved in window {window:?}"
+                );
+            }
+        }
     }
 }

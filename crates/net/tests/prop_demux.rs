@@ -1,91 +1,44 @@
-//! Property tests for the symmetric demultiplexer and the policer.
+//! Network-layer tests: model-based checking of the demultiplexer and
+//! routing table, plus the shrinkable policer property.
+//!
+//! The old lock-step demux properties (two instances fed the same ops
+//! stay synchronised) are replaced by the `qn_testkit` model test,
+//! which is strictly stronger: two real demultiplexers agreeing with
+//! each other could both be wrong, whereas the reference model
+//! re-derives every observable — epoch counters, monotone activation,
+//! auto-activation, round-robin assignment — from the specification.
+//! Symmetry follows a fortiori: both ends are checked against the same
+//! deterministic model.
 
 use proptest::prelude::*;
-use qn_net::demux::SymmetricDemux;
 use qn_net::ids::RequestId;
 use qn_net::policing::Policer;
 use qn_net::request::{Demand, RequestType, UserRequest};
 use qn_net::Address;
 use qn_sim::NodeId;
+use qn_testkit::models::demux::DemuxSpec;
+use qn_testkit::models::routing::RoutingSpec;
+use qn_testkit::ModelTest;
 
-#[derive(Clone, Debug)]
-enum DemuxOp {
-    Add(u8),
-    Remove(u8),
-    ActivateLatest,
-    Next,
+/// Random add/remove/activate/assign sequences: the demultiplexer must
+/// agree with the reference model on every epoch, active set and
+/// assignment. Divergences shrink to a minimal operation sequence.
+#[test]
+fn demux_matches_reference_model() {
+    ModelTest::new("net_demux_matches_model", DemuxSpec)
+        .cases(192)
+        .max_ops(64)
+        .run();
 }
 
-fn demux_op() -> impl Strategy<Value = DemuxOp> {
-    prop_oneof![
-        (0u8..8).prop_map(DemuxOp::Add),
-        (0u8..8).prop_map(DemuxOp::Remove),
-        Just(DemuxOp::ActivateLatest),
-        Just(DemuxOp::Next),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Two demultiplexers fed the same operation sequence stay in
-    /// lock-step — the symmetry property the protocol's cross-check
-    /// relies on.
-    #[test]
-    fn identical_histories_stay_synchronised(ops in proptest::collection::vec(demux_op(), 1..200)) {
-        let mut a = SymmetricDemux::new();
-        let mut b = SymmetricDemux::new();
-        for op in ops {
-            match op {
-                DemuxOp::Add(id) => {
-                    prop_assert_eq!(
-                        a.add_request(RequestId(id as u64)),
-                        b.add_request(RequestId(id as u64))
-                    );
-                }
-                DemuxOp::Remove(id) => {
-                    prop_assert_eq!(
-                        a.remove_request(RequestId(id as u64)),
-                        b.remove_request(RequestId(id as u64))
-                    );
-                }
-                DemuxOp::ActivateLatest => {
-                    let e = a.latest();
-                    a.activate(e);
-                    b.activate(e);
-                }
-                DemuxOp::Next => {
-                    prop_assert_eq!(a.next_request(), b.next_request());
-                }
-            }
-            prop_assert_eq!(a.active(), b.active());
-            prop_assert_eq!(a.active_set(), b.active_set());
-        }
-    }
-
-    /// The active set only ever contains requests that were added and
-    /// not yet removed *as of the active epoch*; assignments only name
-    /// active-set members.
-    #[test]
-    fn assignments_come_from_the_active_set(ops in proptest::collection::vec(demux_op(), 1..150)) {
-        let mut d = SymmetricDemux::new();
-        for op in ops {
-            match op {
-                DemuxOp::Add(id) => { d.add_request(RequestId(id as u64)); }
-                DemuxOp::Remove(id) => { d.remove_request(RequestId(id as u64)); }
-                DemuxOp::ActivateLatest => { let e = d.latest(); d.activate(e); }
-                DemuxOp::Next => {
-                    let set: Vec<_> = d.active_set().to_vec();
-                    if let Some(r) = d.next_request() {
-                        prop_assert!(set.contains(&r), "assigned {r} outside active set");
-                    } else {
-                        prop_assert!(set.is_empty());
-                    }
-                }
-            }
-            prop_assert!(d.active() <= d.latest());
-        }
-    }
+/// Routing-table behaviour: install/uninstall/query sequences must
+/// agree with the role truth table of paper §4.1.
+#[test]
+fn routing_table_matches_reference_model() {
+    ModelTest::new("net_routing_table_matches_model", RoutingSpec)
+        .cases(128)
+        .max_ops(48)
+        .run();
 }
 
 fn rate_request(id: u64, rate: f64) -> UserRequest {

@@ -7,7 +7,7 @@
 use qn_hardware::params::{FibreParams, HardwareParams};
 use qn_net::{Address, Demand, RequestId, RequestType, UserRequest};
 use qn_netsim::build::{NetSim, NetworkBuilder};
-use qn_routing::{dumbbell, CutoffPolicy, Dumbbell};
+use qn_routing::{dumbbell, wide_dumbbell, CutoffPolicy, Dumbbell};
 use qn_sim::{NodeId, SimDuration, SimTime};
 
 fn keep(id: u64, head: NodeId, tail: NodeId, f: f64, n: u64) -> UserRequest {
@@ -98,6 +98,57 @@ fn different_seeds_diverge() {
     // Entanglement generation is stochastic, so distinct seeds must give
     // distinct sample paths (equality here would mean the seed is ignored).
     assert_ne!(fingerprint(&a).0, fingerprint(&b).0);
+}
+
+/// One run over a `width`-wide dumbbell: a straight-across circuit per
+/// end-node pair, one request per circuit, everything contending for
+/// the MA–MB bottleneck.
+fn run_wide_scenario(seed: u64, width: usize) -> NetSim {
+    let (topology, w) = wide_dumbbell(width, HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology)
+        .seed(seed)
+        .with_trace()
+        .build();
+    for (i, (head, tail)) in w.straight_pairs().into_iter().enumerate() {
+        let vc = sim
+            .open_circuit(head, tail, 0.8, CutoffPolicy::short())
+            .expect("straight-across circuit plan must be feasible");
+        sim.submit_at(SimTime::ZERO, vc, keep(i as u64 + 1, head, tail, 0.8, 2));
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(12));
+    sim
+}
+
+/// The determinism guarantee is not a width-2 special case: the
+/// generalised `wide_dumbbell(width)` topologies must reproduce
+/// bit-identically too (more circuits, more links, more RNG
+/// substreams — more surface for ordering bugs).
+#[test]
+fn wide_dumbbells_reproduce_exactly() {
+    for width in [3usize, 4] {
+        let a = run_wide_scenario(4040 + width as u64, width);
+        let b = run_wide_scenario(4040 + width as u64, width);
+        let fa = fingerprint(&a);
+        let fb = fingerprint(&b);
+        assert_eq!(fa.1, fb.1, "width {width}: event counts diverged");
+        assert_eq!(fa.2, fb.2, "width {width}: discard counts diverged");
+        assert_eq!(fa.3, fb.3, "width {width}: deliveries diverged");
+        assert_eq!(fa.0, fb.0, "width {width}: event traces diverged");
+        assert!(
+            !fa.3.is_empty(),
+            "width {width}: scenario must actually deliver pairs"
+        );
+    }
+}
+
+/// Distinct widths are genuinely distinct workloads (a width regression
+/// that quietly builds the same network would defeat the test above).
+#[test]
+fn wide_dumbbell_widths_diverge() {
+    let w3 = run_wide_scenario(99, 3);
+    let w4 = run_wide_scenario(99, 4);
+    assert_ne!(fingerprint(&w3).0, fingerprint(&w4).0);
+    assert!(fingerprint(&w4).1 > 0);
 }
 
 #[test]

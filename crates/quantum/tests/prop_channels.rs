@@ -1,13 +1,99 @@
 //! Property tests for the quantum engine: channel physicality, unitary
-//! invariants, and the composition laws the rest of the stack leans on.
+//! invariants, the composition laws the rest of the stack leans on, and
+//! a `qn_testkit` model test of the Pauli-frame algebra.
 
 use proptest::prelude::*;
 use qn_quantum::bell::BellState;
 use qn_quantum::channels;
 use qn_quantum::formulas;
 use qn_quantum::gates;
+use qn_quantum::gates::Pauli;
 use qn_quantum::state::DensityMatrix;
 use qn_quantum::C64;
+use qn_testkit::{ModelSpec, ModelTest};
+
+/// Pauli-frame tracking model: the QNP never simulates corrections —
+/// it tracks the Bell state as two XOR bits (`B(x,z)`). The model is
+/// that two-bit frame; the system is the full density matrix with
+/// Pauli unitaries applied to either qubit. After every operation the
+/// simulated state must still be *exactly* the tracked Bell state.
+mod frame_model {
+    use super::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct ApplyPauli {
+        /// 0 = X, 1 = Y, 2 = Z.
+        pub pauli: u8,
+        /// Which qubit of the pair.
+        pub second_qubit: bool,
+    }
+
+    pub struct FrameSpec;
+
+    impl ModelSpec for FrameSpec {
+        type Op = ApplyPauli;
+        /// The tracked `(x, z)` correction bits.
+        type Model = BellState;
+        type System = DensityMatrix;
+
+        fn new_model(&self) -> BellState {
+            BellState::PHI_PLUS
+        }
+
+        fn new_system(&self) -> DensityMatrix {
+            BellState::PHI_PLUS.density()
+        }
+
+        fn op_strategy(&self) -> BoxedStrategy<ApplyPauli> {
+            (0u8..3, any::<bool>())
+                .prop_map(|(pauli, second_qubit)| ApplyPauli {
+                    pauli,
+                    second_qubit,
+                })
+                .boxed()
+        }
+
+        fn apply(
+            &self,
+            model: &mut BellState,
+            system: &mut DensityMatrix,
+            op: &ApplyPauli,
+        ) -> Result<(), String> {
+            let pauli = match op.pauli {
+                0 => Pauli::X,
+                1 => Pauli::Y,
+                _ => Pauli::Z,
+            };
+            system.apply_unitary(&pauli.matrix(), &[usize::from(op.second_qubit)]);
+            // A Pauli on *either* qubit flips the same frame bits: X
+            // flips x, Z flips z, Y flips both (X^T = X, Z^T = Z and
+            // Y^T = -Y differ only by global phase across the ⊗-swap).
+            *model =
+                BellState::from_bits(model.x ^ (pauli != Pauli::Z), model.z ^ (pauli != Pauli::X));
+            Ok(())
+        }
+
+        fn invariants(&self, model: &BellState, system: &DensityMatrix) -> Result<(), String> {
+            let f = system.fidelity_pure(&model.amplitudes());
+            if (f - 1.0).abs() > 1e-9 {
+                return Err(format!(
+                    "simulated state has fidelity {f} to tracked {model}"
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Random Pauli sequences on either qubit: the density-matrix
+/// simulation must stay in lock-step with the two-bit Pauli frame.
+#[test]
+fn pauli_frame_matches_density_matrix() {
+    ModelTest::new("quantum_pauli_frame_matches_model", frame_model::FrameSpec)
+        .cases(128)
+        .max_ops(32)
+        .run();
+}
 
 /// An arbitrary single-qubit pure state.
 fn arb_qubit() -> impl Strategy<Value = DensityMatrix> {

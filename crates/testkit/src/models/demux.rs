@@ -1,0 +1,199 @@
+//! Reference model of the network layer's symmetric demultiplexer
+//! (`qn_net::SymmetricDemux`), paper §4.1 "Aggregation" / App. C.3.
+//!
+//! The model keeps the *entire* epoch history as a plain list of
+//! request sets and re-derives every observable from it: epoch counters
+//! returned by `add`/`remove`, monotone activation with the
+//! deterministic auto-activation rule (an empty active set jumps
+//! forward to the next non-empty epoch), round-robin assignment over
+//! the active set. This is strictly stronger than the lock-step
+//! property tests it replaces: two real demultiplexers agreeing with
+//! *each other* could still both be wrong; here each is checked against
+//! the specification.
+
+use crate::ModelSpec;
+use proptest::prelude::*;
+use qn_net::ids::{Epoch, RequestId};
+use qn_net::SymmetricDemux;
+
+/// One operation of the demultiplexer interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DemuxOp {
+    /// Stage a request arrival (creates the next epoch).
+    Add(u8),
+    /// Stage a request completion (creates the next epoch).
+    Remove(u8),
+    /// Activate the newest epoch (head-end TRACK announcement).
+    ActivateLatest,
+    /// Activate the epoch `back` steps behind the newest — stale for
+    /// `back > 0`, exercising the monotonicity rule.
+    ActivateBack(u8),
+    /// Assign the next pair.
+    Next,
+}
+
+/// The reference: full epoch history, an active index, and a cursor.
+pub struct DemuxModel {
+    /// `sets[e]` is the request set of epoch `e`.
+    sets: Vec<Vec<u64>>,
+    active: usize,
+    cursor: u64,
+}
+
+impl DemuxModel {
+    fn auto_activate(&mut self) {
+        if !self.sets[self.active].is_empty() {
+            return;
+        }
+        if let Some(e) = (self.active..self.sets.len()).find(|e| !self.sets[*e].is_empty()) {
+            self.active = e;
+        }
+    }
+
+    fn latest(&self) -> usize {
+        self.sets.len() - 1
+    }
+
+    fn activate(&mut self, epoch: usize) {
+        if epoch > self.active && epoch <= self.latest() {
+            self.active = epoch;
+        }
+        self.auto_activate();
+    }
+}
+
+/// [`ModelSpec`] for the demultiplexer.
+pub struct DemuxSpec;
+
+impl DemuxSpec {
+    fn compare(model: &DemuxModel, system: &SymmetricDemux) -> Result<(), String> {
+        if system.latest() != Epoch(model.latest() as u64) {
+            return Err(format!(
+                "latest: system {:?} vs model {}",
+                system.latest(),
+                model.latest()
+            ));
+        }
+        if system.active() != Epoch(model.active as u64) {
+            return Err(format!(
+                "active: system {:?} vs model {}",
+                system.active(),
+                model.active
+            ));
+        }
+        let expected: Vec<RequestId> = model.sets[model.active]
+            .iter()
+            .map(|id| RequestId(*id))
+            .collect();
+        if system.active_set() != expected.as_slice() {
+            return Err(format!(
+                "active set: system {:?} vs model {expected:?}",
+                system.active_set()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl ModelSpec for DemuxSpec {
+    type Op = DemuxOp;
+    type Model = DemuxModel;
+    type System = SymmetricDemux;
+
+    fn new_model(&self) -> DemuxModel {
+        DemuxModel {
+            sets: vec![Vec::new()],
+            active: 0,
+            cursor: 0,
+        }
+    }
+
+    fn new_system(&self) -> SymmetricDemux {
+        SymmetricDemux::new()
+    }
+
+    fn op_strategy(&self) -> BoxedStrategy<DemuxOp> {
+        prop_oneof![
+            (0u8..8).prop_map(DemuxOp::Add),
+            (0u8..8).prop_map(DemuxOp::Remove),
+            Just(DemuxOp::ActivateLatest),
+            (0u8..6).prop_map(DemuxOp::ActivateBack),
+            Just(DemuxOp::Next),
+        ]
+        .boxed()
+    }
+
+    fn apply(
+        &self,
+        model: &mut DemuxModel,
+        system: &mut SymmetricDemux,
+        op: &DemuxOp,
+    ) -> Result<(), String> {
+        match *op {
+            DemuxOp::Add(id) => {
+                let got = system.add_request(RequestId(u64::from(id)));
+                let mut set = model.sets[model.latest()].clone();
+                if !set.contains(&u64::from(id)) {
+                    set.push(u64::from(id));
+                }
+                model.sets.push(set);
+                model.auto_activate();
+                if got != Epoch(model.latest() as u64) {
+                    return Err(format!(
+                        "add({id}) returned {got:?}, model expected epoch {}",
+                        model.latest()
+                    ));
+                }
+                Ok(())
+            }
+            DemuxOp::Remove(id) => {
+                let got = system.remove_request(RequestId(u64::from(id)));
+                let mut set = model.sets[model.latest()].clone();
+                set.retain(|r| *r != u64::from(id));
+                model.sets.push(set);
+                model.auto_activate();
+                if got != Epoch(model.latest() as u64) {
+                    return Err(format!(
+                        "remove({id}) returned {got:?}, model expected epoch {}",
+                        model.latest()
+                    ));
+                }
+                Ok(())
+            }
+            DemuxOp::ActivateLatest => {
+                let e = system.latest();
+                system.activate(e);
+                let latest = model.latest();
+                model.activate(latest);
+                Ok(())
+            }
+            DemuxOp::ActivateBack(back) => {
+                let target = model.latest().saturating_sub(usize::from(back));
+                system.activate(Epoch(target as u64));
+                model.activate(target);
+                Ok(())
+            }
+            DemuxOp::Next => {
+                let set = &model.sets[model.active];
+                let expected = if set.is_empty() {
+                    None
+                } else {
+                    let pick = set[(model.cursor % set.len() as u64) as usize];
+                    model.cursor += 1;
+                    Some(RequestId(pick))
+                };
+                let got = system.next_request();
+                if got != expected {
+                    return Err(format!(
+                        "next_request: system {got:?}, model expected {expected:?}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn invariants(&self, model: &DemuxModel, system: &SymmetricDemux) -> Result<(), String> {
+        Self::compare(model, system)
+    }
+}

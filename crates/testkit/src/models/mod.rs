@@ -1,0 +1,9 @@
+//! Ready-made [`crate::ModelSpec`] implementations for the subsystems
+//! the QNP's correctness argument leans on: the simulator's event queue
+//! (`qn_sim`), the link-layer protocol state machine (`qn_link`), and
+//! the network layer's demultiplexer and routing table (`qn_net`).
+
+pub mod demux;
+pub mod link;
+pub mod queue;
+pub mod routing;

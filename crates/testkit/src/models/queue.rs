@@ -1,0 +1,158 @@
+//! Reference model of the simulator's pending-event queue.
+//!
+//! `qn_sim::EventQueue` is a binary heap with lazy cancellation; the
+//! protocols rely on two behavioural guarantees — global `(time,
+//! insertion)` ordering and O(1) cancellation that affects exactly one
+//! event. The model below is the obviously-correct version: a flat list
+//! scanned linearly for the minimum. Every observable (popped values,
+//! peeked times, cancellation results, lengths) must agree exactly.
+
+use crate::ModelSpec;
+use proptest::prelude::*;
+use qn_sim::{EventId, EventQueue, SimTime};
+
+/// One operation of the queue interface. `Push` payloads are the
+/// model-assigned insertion index, so popped events are fully
+/// identified. Times are drawn from a tiny range to force plenty of
+/// equal-time ties (the FIFO case that heap implementations get wrong).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueueOp {
+    /// Schedule an event at `time_ps`.
+    Push { time_ps: u64 },
+    /// Cancel the `slot % issued`-th event ever issued (live or not).
+    Cancel { slot: usize },
+    /// Pop the earliest event and compare it.
+    Pop,
+    /// Compare the earliest pending time.
+    Peek,
+}
+
+/// The reference: a flat list of live `(time, insertion index)` entries.
+#[derive(Default)]
+pub struct QueueModel {
+    /// Live events.
+    live: Vec<(u64, u64)>,
+    /// Liveness of every event ever issued, by insertion index.
+    issued: Vec<bool>,
+}
+
+impl QueueModel {
+    fn min_entry(&self) -> Option<(u64, u64)> {
+        self.live.iter().copied().min()
+    }
+}
+
+/// The system under test plus the ids it handed out.
+pub struct QueueSystem {
+    queue: EventQueue<u64>,
+    ids: Vec<EventId>,
+}
+
+/// [`ModelSpec`] for the event queue.
+pub struct QueueSpec;
+
+impl ModelSpec for QueueSpec {
+    type Op = QueueOp;
+    type Model = QueueModel;
+    type System = QueueSystem;
+
+    fn new_model(&self) -> QueueModel {
+        QueueModel::default()
+    }
+
+    fn new_system(&self) -> QueueSystem {
+        QueueSystem {
+            queue: EventQueue::new(),
+            ids: Vec::new(),
+        }
+    }
+
+    fn op_strategy(&self) -> BoxedStrategy<QueueOp> {
+        prop_oneof![
+            (0u64..16).prop_map(|time_ps| QueueOp::Push { time_ps }),
+            (0usize..64).prop_map(|slot| QueueOp::Cancel { slot }),
+            Just(QueueOp::Pop),
+            Just(QueueOp::Peek),
+        ]
+        .boxed()
+    }
+
+    fn precondition(&self, model: &QueueModel, op: &QueueOp) -> bool {
+        match op {
+            QueueOp::Cancel { .. } => !model.issued.is_empty(),
+            _ => true,
+        }
+    }
+
+    fn apply(
+        &self,
+        model: &mut QueueModel,
+        system: &mut QueueSystem,
+        op: &QueueOp,
+    ) -> Result<(), String> {
+        match *op {
+            QueueOp::Push { time_ps } => {
+                let index = model.issued.len() as u64;
+                let id = system.queue.push(SimTime::from_ps(time_ps), index);
+                system.ids.push(id);
+                model.live.push((time_ps, index));
+                model.issued.push(true);
+                Ok(())
+            }
+            QueueOp::Cancel { slot } => {
+                let idx = slot % model.issued.len();
+                let expected = model.issued[idx];
+                let got = system.queue.cancel(system.ids[idx]);
+                if got != expected {
+                    return Err(format!(
+                        "cancel of event #{idx}: system returned {got}, model expected {expected}"
+                    ));
+                }
+                if expected {
+                    model.issued[idx] = false;
+                    model.live.retain(|(_, i)| *i != idx as u64);
+                }
+                Ok(())
+            }
+            QueueOp::Pop => {
+                let expected = model.min_entry();
+                let got = system.queue.pop();
+                let got_norm = got.map(|(t, payload)| (t.as_ps(), payload));
+                if got_norm != expected {
+                    return Err(format!(
+                        "pop: system returned {got_norm:?}, model expected {expected:?}"
+                    ));
+                }
+                if let Some((_, index)) = expected {
+                    model.issued[index as usize] = false;
+                    model.live.retain(|(_, i)| *i != index);
+                }
+                Ok(())
+            }
+            QueueOp::Peek => {
+                let expected = model.min_entry().map(|(t, _)| t);
+                let got = system.queue.peek_time().map(|t| t.as_ps());
+                if got != expected {
+                    return Err(format!(
+                        "peek_time: system returned {got:?}, model expected {expected:?}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn invariants(&self, model: &QueueModel, system: &QueueSystem) -> Result<(), String> {
+        if system.queue.len() != model.live.len() {
+            return Err(format!(
+                "len: system {} vs model {}",
+                system.queue.len(),
+                model.live.len()
+            ));
+        }
+        if system.queue.is_empty() != model.live.is_empty() {
+            return Err("is_empty disagrees with len".to_string());
+        }
+        Ok(())
+    }
+}

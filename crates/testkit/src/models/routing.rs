@@ -1,0 +1,184 @@
+//! Reference model of per-circuit routing-table behaviour
+//! (`qn_net::routing_table`), paper §4.1 "Routing table".
+//!
+//! A node's table maps circuits to [`RoutingEntry`] values; the QNP
+//! derives the node's *role* on each circuit (head-end, tail-end,
+//! intermediate) purely from which hops are present, and the rules
+//! engine navigates with [`LinkSide`]. The production code under test
+//! is [`RoutingEntry::role`] and [`LinkSide::opposite`] — exercised on
+//! every install and query against the model's independent truth table
+//! (the table container itself is deliberately a std map at both ends;
+//! install/uninstall ops exist to drive overwrite and re-query
+//! sequences, not to test `BTreeMap`).
+
+use crate::ModelSpec;
+use proptest::prelude::*;
+use qn_link::LinkLabel;
+use qn_net::ids::CircuitId;
+use qn_net::{DownstreamHop, LinkSide, Role, RoutingEntry, UpstreamHop};
+use qn_sim::{NodeId, SimDuration};
+use std::collections::BTreeMap;
+
+/// One operation on a node's routing table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableOp {
+    /// Install (or overwrite) a circuit's entry. At least one of
+    /// `upstream`/`downstream` must be set (enforced by precondition).
+    Install {
+        circuit: u8,
+        upstream: bool,
+        downstream: bool,
+    },
+    /// Tear down a circuit's entry.
+    Uninstall { circuit: u8 },
+    /// Query the node's role on a circuit and both side mappings.
+    Query { circuit: u8 },
+}
+
+/// The reference: which hops each installed circuit has.
+pub type TableModel = BTreeMap<u8, (bool, bool)>;
+
+/// The system under test: real [`RoutingEntry`] values in a map.
+pub type TableSystem = BTreeMap<u64, RoutingEntry>;
+
+/// [`ModelSpec`] for routing-table role derivation.
+pub struct RoutingSpec;
+
+/// The §4.1 truth table: role from which hops are present.
+fn expected_role(upstream: bool, downstream: bool) -> Role {
+    match (upstream, downstream) {
+        (false, true) => Role::HeadEnd,
+        (true, false) => Role::TailEnd,
+        (true, true) => Role::Intermediate,
+        (false, false) => unreachable!("precondition forbids hopless entries"),
+    }
+}
+
+fn entry(circuit: u8, upstream: bool, downstream: bool) -> RoutingEntry {
+    RoutingEntry {
+        circuit: CircuitId(u64::from(circuit)),
+        upstream: upstream.then(|| UpstreamHop {
+            node: NodeId(0),
+            label: LinkLabel(u32::from(circuit)),
+        }),
+        downstream: downstream.then(|| DownstreamHop {
+            node: NodeId(2),
+            label: LinkLabel(u32::from(circuit)),
+            min_fidelity: 0.9,
+            max_lpr: 25.0,
+        }),
+        max_eer: 10.0,
+        cutoff: SimDuration::from_millis(50),
+    }
+}
+
+impl ModelSpec for RoutingSpec {
+    type Op = TableOp;
+    type Model = TableModel;
+    type System = TableSystem;
+
+    fn new_model(&self) -> TableModel {
+        BTreeMap::new()
+    }
+
+    fn new_system(&self) -> TableSystem {
+        BTreeMap::new()
+    }
+
+    fn op_strategy(&self) -> BoxedStrategy<TableOp> {
+        prop_oneof![
+            (0u8..6, any::<bool>(), any::<bool>()).prop_map(|(circuit, upstream, downstream)| {
+                TableOp::Install {
+                    circuit,
+                    upstream,
+                    downstream,
+                }
+            }),
+            (0u8..6).prop_map(|circuit| TableOp::Uninstall { circuit }),
+            (0u8..6).prop_map(|circuit| TableOp::Query { circuit }),
+        ]
+        .boxed()
+    }
+
+    fn precondition(&self, _model: &TableModel, op: &TableOp) -> bool {
+        // An entry with no hops is invalid by construction (role()
+        // panics); the signalling protocol never installs one.
+        !matches!(
+            op,
+            TableOp::Install {
+                upstream: false,
+                downstream: false,
+                ..
+            }
+        )
+    }
+
+    fn apply(
+        &self,
+        model: &mut TableModel,
+        system: &mut TableSystem,
+        op: &TableOp,
+    ) -> Result<(), String> {
+        match *op {
+            TableOp::Install {
+                circuit,
+                upstream,
+                downstream,
+            } => {
+                let e = entry(circuit, upstream, downstream);
+                // Role derivation is checked at install time too, so
+                // every install exercises the real `role()` code path.
+                let expected = expected_role(upstream, downstream);
+                if e.role() != expected {
+                    return Err(format!(
+                        "install(vc{circuit}): role() derived {:?}, model expected {expected:?}",
+                        e.role()
+                    ));
+                }
+                system.insert(u64::from(circuit), e);
+                model.insert(circuit, (upstream, downstream));
+                Ok(())
+            }
+            TableOp::Uninstall { circuit } => {
+                let got = system.remove(&u64::from(circuit)).is_some();
+                let expected = model.remove(&circuit).is_some();
+                if got != expected {
+                    return Err(format!(
+                        "uninstall(vc{circuit}): system had entry: {got}, model: {expected}"
+                    ));
+                }
+                Ok(())
+            }
+            TableOp::Query { circuit } => {
+                let got = system.get(&u64::from(circuit)).map(|e| e.role());
+                let expected = model
+                    .get(&circuit)
+                    .map(|(up, down)| expected_role(*up, *down));
+                if got != expected {
+                    return Err(format!(
+                        "role(vc{circuit}): system {got:?}, model expected {expected:?}"
+                    ));
+                }
+                // End-nodes have exactly one usable side; `opposite` must
+                // be an involution wherever a side exists.
+                for side in [LinkSide::Upstream, LinkSide::Downstream] {
+                    if side.opposite().opposite() != side {
+                        return Err(format!("LinkSide::opposite not an involution at {side:?}"));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn invariants(&self, model: &TableModel, system: &TableSystem) -> Result<(), String> {
+        if model.len() != system.len() {
+            return Err(format!(
+                "installed circuits: system {} vs model {}",
+                system.len(),
+                model.len()
+            ));
+        }
+        Ok(())
+    }
+}

@@ -2,131 +2,79 @@
 //!
 //! Implements the surface this workspace's property tests use: the
 //! `proptest!` macro (with `#![proptest_config(...)]`), range/tuple/`Just`
-//! strategies, `prop_map`, `prop_oneof!`, `collection::vec`, `any::<T>()`,
-//! and the `prop_assert*!`/`prop_assume!` macros.
+//! strategies, `prop_map`, `prop_filter`, `prop_oneof!`, `collection::vec`,
+//! `any::<T>()`, and the `prop_assert*!`/`prop_assume!` macros — **with
+//! shrinking**: every strategy samples a [`tree::ShrinkTree`], and a
+//! failing case is greedily minimised to a locally-minimal counterexample
+//! before being reported (alongside the original).
 //!
 //! Differences from real proptest, by design:
 //!
 //! * cases are sampled from a **deterministic** per-test RNG (seeded from
-//!   the test name), so CI failures reproduce locally without a seed file;
-//! * there is **no shrinking** — a failing case reports the assertion
-//!   message, the case number and the `Debug` rendering of every
-//!   generated input (strategy values must therefore be `Debug`), not a
-//!   minimised input.
+//!   the test name), so CI failures reproduce locally without a seed file —
+//!   and because shrinking consults no RNG, the *minimised* counterexample
+//!   is identical run to run;
+//! * shrinking is a greedy first-failing-child descent over Hedgehog-style
+//!   rose trees (no `simplify`/`complicate` cursor, no fork persistence);
+//! * strategy values must be `Clone + Debug + 'static` (real proptest only
+//!   needs `Debug`), which every type in this workspace satisfies;
+//! * macro arguments are plain identifiers (`x in 0..10`), not arbitrary
+//!   patterns.
+//!
+//! Environment knobs (see EXPERIMENTS.md "Property suites"):
+//! `PROPTEST_CASES` overrides the default case count (explicit
+//! `with_cases` wins), `PROPTEST_CASES_MULTIPLIER` scales *every* test's
+//! case count (the CI nightly-style job sets 4), and
+//! `PROPTEST_MAX_SHRINK_ITERS` caps shrink-time property executions.
 
-pub mod test_runner {
-    use rand::rngs::StdRng;
-    use rand::{Rng, RngCore, SeedableRng};
-
-    /// Deterministic RNG driving all strategy sampling. Like real
-    /// proptest, it is backed by the `rand` crate (here: the in-tree
-    /// shim's `StdRng`).
-    #[derive(Clone, Debug)]
-    pub struct TestRng {
-        inner: StdRng,
-    }
-
-    impl TestRng {
-        pub fn from_seed(seed: u64) -> Self {
-            TestRng {
-                inner: StdRng::seed_from_u64(seed),
-            }
-        }
-
-        pub fn from_name(name: &str) -> Self {
-            let mut h: u64 = 0xcbf29ce484222325;
-            for b in name.as_bytes() {
-                h ^= u64::from(*b);
-                h = h.wrapping_mul(0x100000001b3);
-            }
-            Self::from_seed(h)
-        }
-
-        pub fn next_u64(&mut self) -> u64 {
-            self.inner.next_u64()
-        }
-
-        /// Uniform in `[0, 1)`.
-        pub fn unit_f64(&mut self) -> f64 {
-            self.inner.gen()
-        }
-
-        /// Uniform in `[0, n)`; `n` must be positive.
-        pub fn below(&mut self, n: u64) -> u64 {
-            self.inner.gen_range(0..n)
-        }
-    }
-
-    /// Runner configuration (`ProptestConfig` in the prelude).
-    #[derive(Clone, Debug)]
-    pub struct Config {
-        pub cases: u32,
-        pub max_global_rejects: u32,
-    }
-
-    impl Config {
-        pub fn with_cases(cases: u32) -> Self {
-            Config {
-                cases,
-                ..Config::default()
-            }
-        }
-    }
-
-    impl Default for Config {
-        fn default() -> Self {
-            Config {
-                cases: 256,
-                max_global_rejects: 65_536,
-            }
-        }
-    }
-
-    /// Why a single test case did not pass.
-    #[derive(Clone, Debug)]
-    pub enum TestCaseError {
-        /// `prop_assume!` filtered the input; the case is not counted.
-        Reject(String),
-        /// A `prop_assert*!` failed.
-        Fail(String),
-    }
-
-    pub type TestCaseResult = Result<(), TestCaseError>;
-}
+pub mod test_runner;
+pub mod tree;
 
 pub mod strategy {
     use crate::test_runner::TestRng;
+    use crate::tree::{float_tree, int_tree, join2, ShrinkTree};
+    use std::fmt;
     use std::marker::PhantomData;
     use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
 
-    /// A generator of values of type `Self::Value`.
+    /// A generator of shrinkable values of type `Self::Value`.
     ///
-    /// Unlike real proptest there is no value tree / shrinking: a strategy
-    /// is just a samplable distribution.
+    /// A strategy samples a whole [`ShrinkTree`] — the generated value
+    /// plus the lattice of simpler candidates the runner walks when the
+    /// property fails.
     pub trait Strategy {
-        type Value;
+        type Value: Clone + fmt::Debug + 'static;
 
-        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+        /// Sample a value together with its shrink tree.
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<Self::Value>;
 
-        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
-        where
-            Self: Sized,
-        {
-            Map { source: self, f }
+        /// Sample just the value (no shrinking context).
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            self.tree(rng).into_value()
         }
 
-        fn prop_filter<F: Fn(&Self::Value) -> bool>(
-            self,
-            whence: &'static str,
-            f: F,
-        ) -> Filter<Self, F>
+        fn prop_map<O, F>(self, f: F) -> Map<Self, O>
         where
             Self: Sized,
+            O: Clone + fmt::Debug + 'static,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            Map {
+                source: self,
+                f: Rc::new(f),
+            }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool + 'static,
         {
             Filter {
                 source: self,
                 whence,
-                f,
+                f: Rc::new(f),
             }
         }
 
@@ -135,55 +83,65 @@ pub mod strategy {
             Self: Sized + 'static,
         {
             BoxedStrategy {
-                sampler: std::rc::Rc::new(move |rng: &mut TestRng| self.sample(rng)),
+                sampler: Rc::new(move |rng: &mut TestRng| self.tree(rng)),
             }
         }
     }
 
     /// Type-erased strategy, the element type of `prop_oneof!` unions.
-    #[derive(Clone)]
     pub struct BoxedStrategy<V> {
         #[allow(clippy::type_complexity)]
-        sampler: std::rc::Rc<dyn Fn(&mut TestRng) -> V>,
+        sampler: Rc<dyn Fn(&mut TestRng) -> ShrinkTree<V>>,
     }
 
-    impl<V> Strategy for BoxedStrategy<V> {
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                sampler: Rc::clone(&self.sampler),
+            }
+        }
+    }
+
+    impl<V: Clone + fmt::Debug + 'static> Strategy for BoxedStrategy<V> {
         type Value = V;
 
-        fn sample(&self, rng: &mut TestRng) -> V {
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<V> {
             (self.sampler)(rng)
         }
     }
 
-    /// Result of [`Strategy::prop_map`].
-    pub struct Map<S, F> {
+    /// Result of [`Strategy::prop_map`]. The *source* tree shrinks and
+    /// every candidate is pushed through the mapping function.
+    pub struct Map<S: Strategy, O> {
         source: S,
-        f: F,
+        f: Rc<dyn Fn(S::Value) -> O>,
     }
 
-    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    impl<S: Strategy, O: Clone + fmt::Debug + 'static> Strategy for Map<S, O> {
         type Value = O;
 
-        fn sample(&self, rng: &mut TestRng) -> O {
-            (self.f)(self.source.sample(rng))
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<O> {
+            self.source.tree(rng).map(Rc::clone(&self.f))
         }
     }
 
-    /// Result of [`Strategy::prop_filter`]; resamples until accepted.
-    pub struct Filter<S, F> {
+    /// Result of [`Strategy::prop_filter`]; resamples until accepted,
+    /// and prunes shrink candidates the predicate rejects.
+    pub struct Filter<S: Strategy> {
         source: S,
         whence: &'static str,
-        f: F,
+        #[allow(clippy::type_complexity)]
+        f: Rc<dyn Fn(&S::Value) -> bool>,
     }
 
-    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    impl<S: Strategy> Strategy for Filter<S> {
         type Value = S::Value;
 
-        fn sample(&self, rng: &mut TestRng) -> S::Value {
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<S::Value> {
             for _ in 0..10_000 {
-                let v = self.source.sample(rng);
-                if (self.f)(&v) {
-                    return v;
+                let tree = self.source.tree(rng);
+                if (self.f)(tree.value()) {
+                    return tree.prune(Rc::clone(&self.f));
                 }
             }
             panic!(
@@ -193,19 +151,21 @@ pub mod strategy {
         }
     }
 
-    /// Strategy yielding one fixed value (requires `Clone`).
+    /// Strategy yielding one fixed value (requires `Clone`); minimal by
+    /// definition, so it never shrinks.
     #[derive(Clone, Debug)]
     pub struct Just<T: Clone>(pub T);
 
-    impl<T: Clone> Strategy for Just<T> {
+    impl<T: Clone + fmt::Debug + 'static> Strategy for Just<T> {
         type Value = T;
 
-        fn sample(&self, _rng: &mut TestRng) -> T {
-            self.0.clone()
+        fn tree(&self, _rng: &mut TestRng) -> ShrinkTree<T> {
+            ShrinkTree::leaf(self.0.clone())
         }
     }
 
     /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    /// Shrinking stays within the sampled alternative.
     pub struct Union<V> {
         options: Vec<BoxedStrategy<V>>,
     }
@@ -217,18 +177,21 @@ pub mod strategy {
         }
     }
 
-    impl<V> Strategy for Union<V> {
+    impl<V: Clone + fmt::Debug + 'static> Strategy for Union<V> {
         type Value = V;
 
-        fn sample(&self, rng: &mut TestRng) -> V {
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<V> {
             let idx = rng.below(self.options.len() as u64) as usize;
-            self.options[idx].sample(rng)
+            self.options[idx].tree(rng)
         }
     }
 
-    /// Scalars samplable from half-open and inclusive ranges.
-    pub trait SampleScalar: Copy {
+    /// Scalars samplable from half-open and inclusive ranges, shrinking
+    /// toward the range's lower bound.
+    pub trait SampleScalar: Copy + fmt::Debug + 'static {
         fn sample_scalar(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+        /// A shrink tree for `value`, descending toward `origin`.
+        fn shrink_from(origin: Self, value: Self) -> ShrinkTree<Self>;
     }
 
     macro_rules! impl_sample_scalar_int {
@@ -242,6 +205,10 @@ pub mod strategy {
                         return rng.next_u64() as $t;
                     }
                     (lo as i128 + rng.below(span as u64) as i128) as $t
+                }
+
+                fn shrink_from(origin: Self, value: Self) -> ShrinkTree<Self> {
+                    int_tree(origin as i128, value as i128).map(Rc::new(|v: i128| v as $t))
                 }
             }
         )*};
@@ -258,6 +225,10 @@ pub mod strategy {
                 v
             }
         }
+
+        fn shrink_from(origin: Self, value: Self) -> ShrinkTree<Self> {
+            float_tree(origin, value, 24)
+        }
     }
 
     impl SampleScalar for f32 {
@@ -270,47 +241,107 @@ pub mod strategy {
                 v
             }
         }
+
+        fn shrink_from(origin: Self, value: Self) -> ShrinkTree<Self> {
+            float_tree(origin as f64, value as f64, 24).map(Rc::new(|v: f64| v as f32))
+        }
     }
 
     impl<T: SampleScalar> Strategy for Range<T> {
         type Value = T;
 
-        fn sample(&self, rng: &mut TestRng) -> T {
-            T::sample_scalar(rng, self.start, self.end, false)
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<T> {
+            let v = T::sample_scalar(rng, self.start, self.end, false);
+            T::shrink_from(self.start, v)
         }
     }
 
     impl<T: SampleScalar> Strategy for RangeInclusive<T> {
         type Value = T;
 
-        fn sample(&self, rng: &mut TestRng) -> T {
-            T::sample_scalar(rng, *self.start(), *self.end(), true)
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<T> {
+            let v = T::sample_scalar(rng, *self.start(), *self.end(), true);
+            T::shrink_from(*self.start(), v)
         }
     }
 
-    macro_rules! impl_strategy_tuple {
-        ($(($($name:ident),+))*) => {$(
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
-                type Value = ($($name::Value,)+);
+    // Tuple strategies: components shrink independently (one at a time),
+    // built from nested pair joins.
 
-                fn sample(&self, rng: &mut TestRng) -> Self::Value {
-                    #[allow(non_snake_case)]
-                    let ($($name,)+) = self;
-                    ($($name.sample(rng),)+)
-                }
-            }
-        )*};
-    }
-    impl_strategy_tuple! {
-        (A)
-        (A, B)
-        (A, B, C)
-        (A, B, C, D)
-        (A, B, C, D, E)
-        (A, B, C, D, E, F)
+    impl<A: Strategy> Strategy for (A,) {
+        type Value = (A::Value,);
+
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<Self::Value> {
+            self.0.tree(rng).map(Rc::new(|a| (a,)))
+        }
     }
 
-    /// Full-range strategy backing `any::<T>()`.
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<Self::Value> {
+            join2(self.0.tree(rng), self.1.tree(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<Self::Value> {
+            join2(join2(self.0.tree(rng), self.1.tree(rng)), self.2.tree(rng))
+                .map(Rc::new(|((a, b), c)| (a, b, c)))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<Self::Value> {
+            join2(
+                join2(join2(self.0.tree(rng), self.1.tree(rng)), self.2.tree(rng)),
+                self.3.tree(rng),
+            )
+            .map(Rc::new(|(((a, b), c), d)| (a, b, c, d)))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+        type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<Self::Value> {
+            join2(
+                join2(
+                    join2(join2(self.0.tree(rng), self.1.tree(rng)), self.2.tree(rng)),
+                    self.3.tree(rng),
+                ),
+                self.4.tree(rng),
+            )
+            .map(Rc::new(|((((a, b), c), d), e)| (a, b, c, d, e)))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy, F: Strategy> Strategy
+        for (A, B, C, D, E, F)
+    {
+        type Value = (A::Value, B::Value, C::Value, D::Value, E::Value, F::Value);
+
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<Self::Value> {
+            join2(
+                join2(
+                    join2(
+                        join2(join2(self.0.tree(rng), self.1.tree(rng)), self.2.tree(rng)),
+                        self.3.tree(rng),
+                    ),
+                    self.4.tree(rng),
+                ),
+                self.5.tree(rng),
+            )
+            .map(Rc::new(|(((((a, b), c), d), e), f)| (a, b, c, d, e, f)))
+        }
+    }
+
+    /// Full-range strategy backing `any::<T>()`; integers shrink toward
+    /// zero, `true` shrinks to `false`.
     pub struct Any<T> {
         _marker: PhantomData<T>,
     }
@@ -329,31 +360,39 @@ pub mod strategy {
         }
     }
 
-    macro_rules! impl_any {
-        ($($t:ty => |$rng:ident| $e:expr;)*) => {$(
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<bool> {
+            if rng.next_u64() & 1 == 1 {
+                ShrinkTree::with_children(true, || vec![ShrinkTree::leaf(false)])
+            } else {
+                ShrinkTree::leaf(false)
+            }
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<f64> {
+            float_tree(0.0, rng.unit_f64(), 24)
+        }
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
             impl Strategy for Any<$t> {
                 type Value = $t;
 
-                fn sample(&self, $rng: &mut TestRng) -> $t {
-                    $e
+                fn tree(&self, rng: &mut TestRng) -> ShrinkTree<$t> {
+                    let v = rng.next_u64() as $t;
+                    int_tree(0, v as i128).map(Rc::new(|v: i128| v as $t))
                 }
             }
         )*};
     }
-    impl_any! {
-        bool => |rng| rng.next_u64() & 1 == 1;
-        u8 => |rng| rng.next_u64() as u8;
-        u16 => |rng| rng.next_u64() as u16;
-        u32 => |rng| rng.next_u64() as u32;
-        u64 => |rng| rng.next_u64();
-        usize => |rng| rng.next_u64() as usize;
-        i8 => |rng| rng.next_u64() as i8;
-        i16 => |rng| rng.next_u64() as i16;
-        i32 => |rng| rng.next_u64() as i32;
-        i64 => |rng| rng.next_u64() as i64;
-        isize => |rng| rng.next_u64() as isize;
-        f64 => |rng| rng.unit_f64();
-    }
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 }
 
 pub mod arbitrary {
@@ -390,6 +429,7 @@ pub mod arbitrary {
 pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
+    use crate::tree::{vec_tree, ShrinkTree};
     use std::ops::{Range, RangeInclusive};
 
     /// Accepted size arguments of [`vec`]: `n`, `lo..hi`, `lo..=hi`.
@@ -428,7 +468,9 @@ pub mod collection {
         }
     }
 
-    /// Strategy for `Vec<S::Value>` with a sampled length.
+    /// Strategy for `Vec<S::Value>` with a sampled length. Shrinks the
+    /// length toward the size range's minimum (chunked element removal)
+    /// and individual elements via their own trees.
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
@@ -437,10 +479,11 @@ pub mod collection {
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
 
-        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        fn tree(&self, rng: &mut TestRng) -> ShrinkTree<Self::Value> {
             let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
             let n = self.size.lo + rng.below(span) as usize;
-            (0..n).map(|_| self.element.sample(rng)).collect()
+            let elems = (0..n).map(|_| self.element.tree(rng)).collect();
+            vec_tree(elems, self.size.lo)
         }
     }
 
@@ -530,7 +573,9 @@ macro_rules! prop_oneof {
 }
 
 /// The property-test entry point. Each contained function runs
-/// `config.cases` sampled cases (default 256).
+/// `config.cases` sampled cases (default 256); a failing case is
+/// shrunk to a locally-minimal counterexample and both the minimal and
+/// the original inputs are reported in the panic message.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -539,65 +584,36 @@ macro_rules! proptest {
     (@impl ($config:expr)
         $(
             $(#[$meta:meta])*
-            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
         )*
     ) => {
         $(
             $(#[$meta])*
             fn $name() {
-                let config: $crate::test_runner::Config = $config;
-                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
-                let mut passed: u32 = 0;
-                let mut rejected: u32 = 0;
-                let mut case: u64 = 0;
-                while passed < config.cases {
-                    case += 1;
-                    // Sample into a temporary first and render it with
-                    // `Debug` before the pattern binding can move it, so
-                    // a failing case can report the exact generated
-                    // inputs (no shrinking, but full visibility).
-                    let mut __qnp_inputs: ::std::vec::Vec<::std::string::String> =
-                        ::std::vec::Vec::new();
-                    $(
-                        let __qnp_value =
-                            $crate::strategy::Strategy::sample(&($strategy), &mut rng);
-                        __qnp_inputs.push(::std::format!(
-                            "{} = {:?}",
-                            stringify!($arg),
-                            &__qnp_value
-                        ));
-                        let $arg = __qnp_value;
-                    )+
-                    let outcome: $crate::test_runner::TestCaseResult = (|| {
+                let __qnp_config: $crate::test_runner::Config = $config;
+                let __qnp_strategy = ($($strategy,)+);
+                let __qnp_result = $crate::test_runner::run_property(
+                    stringify!($name),
+                    &__qnp_config,
+                    &__qnp_strategy,
+                    |__qnp_vals| {
+                        let ($($arg,)+) = __qnp_vals;
                         $body
                         ::core::result::Result::Ok(())
-                    })();
-                    match outcome {
-                        ::core::result::Result::Ok(()) => passed += 1,
-                        ::core::result::Result::Err(
-                            $crate::test_runner::TestCaseError::Reject(_),
-                        ) => {
-                            rejected += 1;
-                            if rejected > config.max_global_rejects {
-                                panic!(
-                                    "{}: too many prop_assume! rejections ({})",
-                                    stringify!($name),
-                                    rejected
-                                );
-                            }
-                        }
-                        ::core::result::Result::Err(
-                            $crate::test_runner::TestCaseError::Fail(msg),
-                        ) => {
-                            panic!(
-                                "{} failed at case {}:\n{}\nfailing inputs:\n  {}",
-                                stringify!($name),
-                                case,
-                                msg,
-                                __qnp_inputs.join("\n  ")
-                            );
-                        }
-                    }
+                    },
+                );
+                if let ::core::result::Result::Err(__qnp_failure) = __qnp_result {
+                    let __qnp_render = |__qnp_vals: &_| {
+                        let ($(ref $arg,)+) = *__qnp_vals;
+                        let __qnp_parts: ::std::vec::Vec<::std::string::String> = vec![
+                            $(::std::format!("{} = {:?}", stringify!($arg), $arg)),+
+                        ];
+                        __qnp_parts.join("\n  ")
+                    };
+                    ::std::panic!(
+                        "{}",
+                        __qnp_failure.render(stringify!($name), &__qnp_render)
+                    );
                 }
             }
         )*
@@ -650,6 +666,13 @@ mod tests {
             prop_assume!(x % 2 == 0);
             prop_assert!(x % 2 == 0);
         }
+
+        #[test]
+        fn filter_values_satisfy_predicate(
+            x in (0u32..100).prop_filter("odd only", |v| v % 2 == 1),
+        ) {
+            prop_assert!(x % 2 == 1);
+        }
     }
 
     proptest! {
@@ -673,10 +696,10 @@ mod tests {
         inner();
     }
 
-    /// The failure message must carry the `Debug` rendering of every
-    /// generated input, named after its binding pattern.
+    /// The failure message must carry both the minimal and the original
+    /// counterexample, each rendered with its binding name.
     #[test]
-    fn failure_message_reports_generated_inputs() {
+    fn failure_message_reports_both_counterexamples() {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(4))]
 
@@ -690,8 +713,34 @@ mod tests {
             .downcast_ref::<String>()
             .cloned()
             .unwrap_or_default();
-        assert!(msg.contains("failing inputs:"), "message: {msg}");
+        assert!(msg.contains("minimal failing input"), "message: {msg}");
+        assert!(msg.contains("original failing input"), "message: {msg}");
         assert!(msg.contains("xs = [7, 7]"), "message: {msg}");
         assert!(msg.contains("flag = true"), "message: {msg}");
+    }
+
+    /// Body panics (not just `prop_assert!` failures) are caught and
+    /// shrunk like ordinary failures.
+    #[test]
+    fn panicking_bodies_shrink_too() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            #[allow(dead_code)]
+            fn inner(x in 0u32..1000) {
+                assert!(x < 10, "hard panic at {x}");
+                prop_assert!(true);
+            }
+        }
+        let payload = std::panic::catch_unwind(inner).expect_err("inner must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("panic: hard panic at"), "message: {msg}");
+        assert!(
+            msg.contains("x = 10"),
+            "x must shrink to the boundary 10; message: {msg}"
+        );
     }
 }

@@ -1,0 +1,171 @@
+//! Meta-tests of the shrinking engine: deliberately-failing properties
+//! whose *minimised* counterexample is known exactly. These pin down
+//! the two guarantees the workspace relies on — local minimality (no
+//! single shrink step keeps the property failing) and bit-for-bit
+//! reproducibility across runs.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::test_runner::{run_property, Config, PropertyFailure, TestCaseError};
+
+fn fail_if(cond: bool, msg: &str) -> Result<(), TestCaseError> {
+    if cond {
+        Err(TestCaseError::Fail(msg.to_string()))
+    } else {
+        Ok(())
+    }
+}
+
+/// A `vec` property violated at length >= 3 must shrink to *exactly* 3
+/// elements, each individually minimal.
+#[test]
+fn vec_length_shrinks_to_exact_boundary() {
+    let failure = run_property(
+        "meta_vec_len",
+        &Config::with_cases(64),
+        &vec(0u64..100, 0..40),
+        |v| fail_if(v.len() >= 3, "too long"),
+    )
+    .expect_err("property fails for most vectors");
+    assert_eq!(
+        failure.minimal.len(),
+        3,
+        "locally minimal length for `len >= 3` is exactly 3: {:?}",
+        failure.minimal
+    );
+    assert_eq!(
+        failure.minimal,
+        vec![0, 0, 0],
+        "elements must shrink to the range minimum too"
+    );
+    assert!(failure.original.len() >= 3);
+    assert!(failure.stats.accepted > 0);
+}
+
+/// An integer property violated at a threshold shrinks to the
+/// threshold itself.
+#[test]
+fn integer_shrinks_to_threshold() {
+    let failure = run_property(
+        "meta_int_threshold",
+        &Config::with_cases(64),
+        &(0u32..10_000,),
+        |(x,)| fail_if(x >= 137, "over the line"),
+    )
+    .expect_err("property fails for large values");
+    assert_eq!(failure.minimal.0, 137);
+}
+
+/// `prop_map` shrinks through the mapping: the *source* value is
+/// minimised and re-mapped, so even non-invertible maps shrink.
+#[test]
+fn mapped_strategies_shrink_through_the_map() {
+    let failure = run_property(
+        "meta_map_shrink",
+        &Config::with_cases(64),
+        &((0u32..10_000).prop_map(|x| x * 2),),
+        |(v,)| fail_if(v >= 100, "over"),
+    )
+    .expect_err("property fails for large values");
+    assert_eq!(failure.minimal.0, 100, "minimal even value >= 100 is 100");
+}
+
+/// Tuples shrink component-wise to a joint local minimum: for
+/// `a + b >= 100`, no single component can decrease further.
+#[test]
+fn tuple_components_shrink_to_joint_boundary() {
+    let failure = run_property(
+        "meta_tuple_boundary",
+        &Config::with_cases(64),
+        &(0u32..100, 0u32..100),
+        |(a, b)| fail_if(a + b >= 100, "sum too large"),
+    )
+    .expect_err("property fails often");
+    let (a, b) = (failure.minimal.0, failure.minimal.1);
+    assert_eq!(
+        a + b,
+        100,
+        "at a local minimum, decrementing either component passes"
+    );
+}
+
+/// `prop_filter` constrains shrinking too: no candidate outside the
+/// filtered domain is ever proposed.
+#[test]
+fn filtered_strategies_shrink_within_the_filter() {
+    let failure = run_property(
+        "meta_filter_shrink",
+        &Config::with_cases(64),
+        &((0u32..10_000).prop_filter("multiples of 3", |v| v % 3 == 0),),
+        |(v,)| fail_if(v >= 30, "over"),
+    )
+    .expect_err("property fails for large values");
+    assert_eq!(failure.minimal.0 % 3, 0, "shrinks stay in the domain");
+    assert_eq!(failure.minimal.0, 30, "minimal multiple of 3 that is >= 30");
+}
+
+/// Shrinking is deterministic: two runs of the same failing property
+/// produce identical counterexamples, messages and statistics.
+#[test]
+fn shrinking_is_reproducible_across_runs() {
+    let run = || -> Box<PropertyFailure<(Vec<u64>,)>> {
+        run_property(
+            "meta_reproducible",
+            &Config::with_cases(64),
+            &(vec(0u64..1_000, 0..60),),
+            |(v,)| fail_if(v.iter().sum::<u64>() >= 50, "sum too large"),
+        )
+        .expect_err("property fails for most vectors")
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.minimal, second.minimal);
+    assert_eq!(first.original, second.original);
+    assert_eq!(first.case, second.case);
+    assert_eq!(first.minimal_message, second.minimal_message);
+    assert_eq!(first.stats.executions, second.stats.executions);
+    assert_eq!(first.stats.accepted, second.stats.accepted);
+    // And the minimum for `sum >= 50` is a single element of exactly 50
+    // (removing it passes; decrementing it passes).
+    assert_eq!(first.minimal.0, vec![50]);
+}
+
+/// `prop_assume!`-style rejections during shrinking end that branch of
+/// the descent instead of being treated as failures.
+#[test]
+fn rejected_candidates_stop_the_descent_branch() {
+    let failure = run_property(
+        "meta_reject_during_shrink",
+        &Config::with_cases(64),
+        &(0u32..10_000,),
+        |(x,)| {
+            if x < 10 {
+                // The region below the boundary is "rejected" — the
+                // minimum must sit at the boundary, not inside it.
+                Err(TestCaseError::Reject("too small".to_string()))
+            } else {
+                fail_if(x >= 10, "fails whenever not rejected")
+            }
+        },
+    )
+    .expect_err("property fails for every accepted value");
+    assert_eq!(failure.minimal.0, 10);
+}
+
+/// The `PROPTEST_CASES_MULTIPLIER` knob scales any config's case count
+/// (the CI nightly-style job runs the suites at 4x this way), and
+/// `PROPTEST_CASES` overrides the default count only.
+#[test]
+fn env_knobs_scale_case_counts() {
+    // The CI property-deep job exports a multiplier for the whole test
+    // run — save and restore whatever is already set.
+    let ambient = std::env::var("PROPTEST_CASES_MULTIPLIER").ok();
+    std::env::remove_var("PROPTEST_CASES_MULTIPLIER");
+    assert_eq!(Config::with_cases(8).resolved_cases(), 8);
+    std::env::set_var("PROPTEST_CASES_MULTIPLIER", "3");
+    assert_eq!(Config::with_cases(8).resolved_cases(), 24);
+    match ambient {
+        Some(v) => std::env::set_var("PROPTEST_CASES_MULTIPLIER", v),
+        None => std::env::remove_var("PROPTEST_CASES_MULTIPLIER"),
+    }
+}
