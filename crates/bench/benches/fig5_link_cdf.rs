@@ -5,11 +5,14 @@
 //! link-pairs are generated within 30 ms."
 //!
 //! Run: `cargo bench --bench fig5_link_cdf` (knobs: `QNP_RUNS` samples,
-//! default 5000; `QNP_THREADS` sweep workers).
+//! default 5000; `QNP_THREADS` sweep workers; `QNP_QSTATE` pair-state
+//! representation — each sample also drives the quantum kernel:
+//! heralded-state construction, memory decay and the fidelity oracle).
 
 use qn_bench::{env_u64, fig5_sweep, Baseline, Direction};
 use qn_hardware::heralding::LinkPhysics;
 use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_hardware::StateRep;
 use qn_sim::Samples;
 
 fn main() {
@@ -33,9 +36,16 @@ fn main() {
     // Chunked sweep: each chunk draws its samples from its own RNG
     // substream, so the sample set is thread-count independent.
     let mut samples = Samples::new();
+    let mut fid_sum = 0.0;
+    let mut count = 0u64;
     for chunk_samples in fig5_sweep(250, samples_n, fidelity) {
-        samples.extend(chunk_samples);
+        for s in chunk_samples {
+            samples.push(s.time_ms);
+            fid_sum += s.fidelity;
+            count += 1;
+        }
     }
+    let mean_fidelity = fid_sum / count.max(1) as f64;
 
     println!("#\n# time_ms   fraction_generated");
     for (t, q) in samples.cdf_points(40) {
@@ -47,6 +57,7 @@ fn main() {
     println!("#\n# mean   = {mean:7.2} ms   (paper: ≈10 ms)");
     println!("# median = {p50:7.2} ms");
     println!("# p95    = {p95:7.2} ms   (paper: ≈30 ms)");
+    println!("# mean pair fidelity after one generation wait = {mean_fidelity:.6}");
 
     assert!(
         (5.0..20.0).contains(&mean),
@@ -58,21 +69,31 @@ fn main() {
     );
     println!("# shape check: PASS (geometric CDF, mean and p95 in anchor windows)");
 
+    assert!(
+        (0.9..0.96).contains(&mean_fidelity),
+        "pairs idling one generation period must stay near F=0.95: {mean_fidelity}"
+    );
+
+    let wall_clock_s = wall_start.elapsed().as_secs_f64();
     let mut baseline = Baseline::new("fig5_link_cdf")
         .config_num("samples", samples.len() as f64)
         .config_num("fidelity", fidelity)
         .direction("mean_ms", Direction::LowerIsBetter)
         .direction("median_ms", Direction::LowerIsBetter)
-        .direction("p95_ms", Direction::LowerIsBetter);
+        .direction("p95_ms", Direction::LowerIsBetter)
+        .direction("mean_fidelity", Direction::HigherIsBetter)
+        .meta_str("qnp_qstate", StateRep::from_env().as_str())
+        .meta_num("wall_clock_s", wall_clock_s);
     baseline.point(
         "link_generation_time",
         &[("mean_ms", mean), ("median_ms", p50), ("p95_ms", p95)],
     );
+    baseline.point("link_pair_fidelity", &[("mean_fidelity", mean_fidelity)]);
     let path = baseline.write().expect("write baseline");
     println!(
-        "# baseline: {} ({} threads, wall-clock {:.2} s)",
+        "# baseline: {} ({} threads, QNP_QSTATE={}, wall-clock {wall_clock_s:.2} s)",
         path.display(),
         qn_exec::threads(),
-        wall_start.elapsed().as_secs_f64()
+        StateRep::from_env().as_str(),
     );
 }

@@ -1,16 +1,20 @@
 //! Criterion micro-benchmarks of the core data structures: the event
 //! queue, the density-matrix operations behind every entanglement swap,
-//! the heralded-state construction, the link scheduler, and the Bell
-//! tracking algebra.
+//! the heralded-state construction, the link scheduler, the Bell
+//! tracking algebra, and the quantum kernel's two pair-state
+//! representations side by side (`*_bell` vs `*_dm`).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use qn_hardware::device::QubitId;
 use qn_hardware::heralding::LinkPhysics;
 use qn_hardware::pairs::{PairStore, SwapNoise};
 use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_hardware::StateRep;
 use qn_link::{LinkLabel, TimeShareScheduler};
 use qn_quantum::bell::BellState;
+use qn_quantum::gates::Pauli;
 use qn_quantum::measure::bell_measure_ideal;
+use qn_quantum::pairstate::PairState;
 use qn_sim::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -38,11 +42,76 @@ fn bench_density_matrix(c: &mut Criterion) {
     });
 
     c.bench_function("noisy_swap_full_pipeline", |b| {
+        // One persistent store (the in-run shape: conditional-map
+        // tables amortise across swaps); pairs recreated per iteration
+        // because the swap consumes them. Runs on the `QNP_QSTATE`
+        // default representation.
         let params = HardwareParams::simulation();
         let noise = SwapNoise::from_params(&params);
-        b.iter_batched(
-            || {
-                let mut store = PairStore::new();
+        let mut store = PairStore::new();
+        let mut rng = SimRng::from_seed(7);
+        b.iter(|| {
+            let mut mk = |na: u32, nb: u32, qa: u32, qb: u32| {
+                store.create(
+                    SimTime::ZERO,
+                    BellState::PSI_PLUS.density(),
+                    BellState::PSI_PLUS,
+                    [
+                        (NodeId(na), QubitId(qa), 3600.0, 60.0),
+                        (NodeId(nb), QubitId(qb), 3600.0, 60.0),
+                    ],
+                )
+            };
+            let a = mk(0, 1, 0, 0);
+            let b_ = mk(1, 2, 1, 0);
+            let res = store.swap(
+                a,
+                b_,
+                NodeId(1),
+                SimTime::ZERO + SimDuration::from_micros(500),
+                &noise,
+                &mut rng,
+            );
+            store.discard(res.new_pair);
+        });
+    });
+
+    c.bench_function("heralded_state_construction", |b| {
+        let physics = LinkPhysics::new(HardwareParams::simulation(), FibreParams::lab_2m());
+        b.iter(|| physics.heralded_state(0.05, BellState::PSI_PLUS));
+    });
+}
+
+/// The same four pair-level operations under both `QNP_QSTATE`
+/// representations: single-qubit gate application, the two-qubit
+/// depolarizing channel, the full noisy entanglement swap, and one
+/// BBPSSW distillation round. Stores persist across iterations so the
+/// Bell path's cached conditional-map tables amortise, exactly as they
+/// do inside a simulation run.
+fn bench_pair_representations(c: &mut Criterion) {
+    let params = HardwareParams::simulation();
+    let noise = SwapNoise::from_params(&params);
+    for rep in [StateRep::Bell, StateRep::Dm] {
+        let tag = rep.as_str();
+
+        c.bench_function(&format!("pair_gate_apply_{tag}"), |b| {
+            let mut state = PairState::from_density(BellState::PSI_PLUS.density(), rep);
+            b.iter(|| {
+                state.apply_pauli(0, Pauli::X);
+                state.apply_pauli(1, Pauli::Z);
+            });
+        });
+
+        c.bench_function(&format!("pair_kraus_2q_{tag}"), |b| {
+            let mut state = PairState::from_density(BellState::PSI_PLUS.density(), rep);
+            b.iter(|| state.depolarize_2q(1e-3));
+        });
+
+        c.bench_function(&format!("pair_swap_{tag}"), |b| {
+            let mut store = PairStore::with_rep(rep);
+            let mut rng = SimRng::from_seed(7);
+            let t_done = SimTime::ZERO + SimDuration::from_micros(500);
+            b.iter(|| {
                 let mut mk = |na: u32, nb: u32, qa: u32, qb: u32| {
                     store.create(
                         SimTime::ZERO,
@@ -56,26 +125,33 @@ fn bench_density_matrix(c: &mut Criterion) {
                 };
                 let a = mk(0, 1, 0, 0);
                 let b_ = mk(1, 2, 1, 0);
-                (store, a, b_, SimRng::from_seed(7))
-            },
-            |(mut store, a, b_, mut rng)| {
-                store.swap(
-                    a,
-                    b_,
-                    NodeId(1),
-                    SimTime::ZERO + SimDuration::from_micros(500),
-                    &noise,
-                    &mut rng,
-                )
-            },
-            BatchSize::SmallInput,
-        );
-    });
+                let res = store.swap(a, b_, NodeId(1), t_done, &noise, &mut rng);
+                store.discard(res.new_pair);
+            });
+        });
 
-    c.bench_function("heralded_state_construction", |b| {
-        let physics = LinkPhysics::new(HardwareParams::simulation(), FibreParams::lab_2m());
-        b.iter(|| physics.heralded_state(0.05, BellState::PSI_PLUS));
-    });
+        c.bench_function(&format!("pair_distill_{tag}"), |b| {
+            let mut store = PairStore::with_rep(rep);
+            let mut rng = SimRng::from_seed(11);
+            b.iter(|| {
+                let mut mk = |q: u32| {
+                    store.create(
+                        SimTime::ZERO,
+                        BellState::PHI_PLUS.density(),
+                        BellState::PHI_PLUS,
+                        [
+                            (NodeId(0), QubitId(q), 3600.0, 60.0),
+                            (NodeId(1), QubitId(q), 3600.0, 60.0),
+                        ],
+                    )
+                };
+                let keep = mk(0);
+                let sac = mk(1);
+                let res = store.distill(keep, sac, SimTime::ZERO, &noise, &mut rng);
+                store.discard(res.kept);
+            });
+        });
+    }
 }
 
 fn bench_link_scheduler(c: &mut Criterion) {
@@ -117,6 +193,7 @@ criterion_group!(
     benches,
     bench_event_queue,
     bench_density_matrix,
+    bench_pair_representations,
     bench_link_scheduler,
     bench_bell_algebra
 );

@@ -452,6 +452,18 @@ impl Baseline {
         self
     }
 
+    /// Attach a numeric metadata entry (recorded, never diffed).
+    pub fn meta_num(mut self, key: &str, value: f64) -> Self {
+        self.meta.push((key.into(), Json::Num(value)));
+        self
+    }
+
+    /// Attach a string metadata entry (recorded, never diffed).
+    pub fn meta_str(mut self, key: &str, value: &str) -> Self {
+        self.meta.push((key.into(), Json::Str(value.into())));
+        self
+    }
+
     /// Declare a metric's improvement direction.
     pub fn direction(mut self, metric: &str, direction: Direction) -> Self {
         self.directions.push((metric.to_string(), direction));

@@ -12,10 +12,13 @@ use crate::scenarios::{
     Fig10Variant, Fig10cPoint, Fig8Point, Fig9Point, WideDumbbellPoint,
 };
 use qn_exec::run_sweep;
+use qn_hardware::device::QubitId;
 use qn_hardware::heralding::LinkPhysics;
+use qn_hardware::pairs::PairStore;
 use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_hardware::StateRep;
 use qn_routing::{CircuitPlan, CutoffPolicy};
-use qn_sim::{SimDuration, SimRng};
+use qn_sim::{NodeId, SimDuration, SimRng, SimTime};
 
 /// Read an env-var knob with a default.
 pub fn env_u64(name: &str, default: u64) -> u64 {
@@ -57,25 +60,80 @@ pub fn mean_finite(values: impl IntoIterator<Item = f64>) -> f64 {
     }
 }
 
+/// One Fig 5 sample: the wall-clock wait for a heralded link-pair and
+/// the oracle fidelity of the *previous* pair after idling in electron
+/// memory for that wait (the steady-state link pipeline: each pair
+/// waits for its successor before being consumed).
+#[derive(Clone, Copy, Debug)]
+pub struct Fig5Sample {
+    /// Generation time of the pair (ms).
+    pub time_ms: f64,
+    /// Oracle fidelity to the announced Bell state after idling for
+    /// `time_ms` with the simulation hardware's electron T1/T2.
+    pub fidelity: f64,
+}
+
 /// Fig 5 sweep: the `total`-sample budget is split into chunks of
 /// `chunk`, each drawing from its own RNG substream (chunk index =
 /// sweep seed, computed here — unlike the figure sweeps there is no
 /// meaningful external seed axis), so the sample set is independent of
 /// the thread count. The last chunk draws only the remainder: exactly
 /// `total` samples come back.
-pub fn fig5_sweep(chunk: u64, total: u64, fidelity: f64) -> Vec<Vec<f64>> {
+///
+/// Each sample also drives the full quantum kernel — heralded-state
+/// construction, T1/T2 memory decay, oracle fidelity — through the
+/// representation selected by `QNP_QSTATE`, from a *separate* RNG
+/// substream so the generation-time statistics stay bit-identical to
+/// the pre-quantum-leg baselines.
+pub fn fig5_sweep(chunk: u64, total: u64, fidelity: f64) -> Vec<Vec<Fig5Sample>> {
     let physics = LinkPhysics::new(HardwareParams::simulation(), FibreParams::lab_2m());
     let alpha = physics
         .alpha_for_fidelity(fidelity)
         .expect("fidelity attainable in the lab configuration");
     let p = physics.success_prob(alpha);
     let cycle_ms = physics.cycle_time().as_millis_f64();
+    let rep = StateRep::from_env();
     let chunk_indices = seed_block(0, total.div_ceil(chunk));
     run_sweep(
         move |index: u64| {
             let mut rng = SimRng::substream_indexed(1, "fig5", index);
+            let mut qrng = SimRng::substream_indexed(1, "fig5q", index);
+            let mut store = PairStore::with_rep(rep);
+            let params = *physics.params();
             let n = chunk.min(total.saturating_sub(index * chunk));
-            (0..n).map(|_| cycle_ms * rng.geometric(p) as f64).collect()
+            (0..n)
+                .map(|_| {
+                    let time_ms = cycle_ms * rng.geometric(p) as f64;
+                    let announced = physics.sample_announced(&mut qrng);
+                    let state = physics.heralded_pair(alpha, announced, rep);
+                    let id = store.create_pair(
+                        SimTime::ZERO,
+                        state,
+                        announced,
+                        [
+                            (
+                                NodeId(0),
+                                QubitId(0),
+                                params.electron_t1,
+                                params.electron_t2,
+                            ),
+                            (
+                                NodeId(1),
+                                QubitId(0),
+                                params.electron_t1,
+                                params.electron_t2,
+                            ),
+                        ],
+                    );
+                    let idle = SimTime::ZERO + SimDuration::from_secs_f64(time_ms / 1e3);
+                    let f = store.fidelity_to(id, announced, idle);
+                    store.discard(id);
+                    Fig5Sample {
+                        time_ms,
+                        fidelity: f,
+                    }
+                })
+                .collect()
         },
         &chunk_indices,
     )

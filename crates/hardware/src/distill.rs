@@ -94,29 +94,58 @@ impl PairStore {
         );
         // Orientation of the sacrificed pair relative to the kept one.
         let b0_at_na = b.ends()[0].node == na;
+        // Snapshot the fast representations (they are `Copy`) before
+        // taking the table cache borrow.
+        let bell_inputs = match (a.state().as_bell(), b.state().as_bell()) {
+            (Some(x), Some(y)) => Some((*x, *y)),
+            _ => None,
+        };
 
-        // Joint register: [a0, a1, b0, b1]; align so CNOTs act locally.
-        let mut joint = a.state().clone().tensor(b.state());
-        let (b_at_na, b_at_nb) = if b0_at_na { (2, 3) } else { (3, 2) };
+        // Fast path: one conditional-map table contraction instead of
+        // the 16×16 joint-register circuit.
+        let fast = bell_inputs.and_then(|(x, y)| {
+            self.distill_table(noise.p_two_qubit, b0_at_na).map(|t| {
+                let u1 = rng.f64();
+                let u2 = rng.f64();
+                t.apply(&x, &y, u1, u2)
+            })
+        });
 
-        // Bilateral CNOTs with two-qubit gate noise.
-        for (ctrl, tgt) in [(0usize, b_at_na), (1usize, b_at_nb)] {
-            joint.apply_unitary(&gates::cnot(), &[ctrl, tgt]);
-            if noise.p_two_qubit > 0.0 {
-                joint.apply_kraus(&channels::depolarizing_2q(noise.p_two_qubit), &[ctrl, tgt]);
+        let (m_na, m_nb, post) = match fast {
+            Some((m_na, m_nb, bd)) => (m_na, m_nb, qn_quantum::PairState::Bell(bd)),
+            None => {
+                let a = self.get(keep).expect("keep pair");
+                let b = self.get(sacrifice).expect("sacrifice pair");
+                // Joint register: [a0, a1, b0, b1]; align so CNOTs act
+                // locally.
+                let mut joint = a.state().to_density().tensor(&b.state().to_density());
+                let (b_at_na, b_at_nb) = if b0_at_na { (2, 3) } else { (3, 2) };
+
+                // Bilateral CNOTs with two-qubit gate noise.
+                for (ctrl, tgt) in [(0usize, b_at_na), (1usize, b_at_nb)] {
+                    joint.apply_unitary(&gates::cnot(), &[ctrl, tgt]);
+                    if noise.p_two_qubit > 0.0 {
+                        joint.apply_kraus(
+                            &channels::depolarizing_2q(noise.p_two_qubit),
+                            &[ctrl, tgt],
+                        );
+                    }
+                }
+                // Measure the sacrificed qubits in Z.
+                let m_na = joint.measure_z(b_at_na, rng.f64());
+                let m_nb = joint.measure_z(b_at_nb, rng.f64());
+                // The kept pair's post-circuit state.
+                let post = joint.partial_trace_keep(&[0, 1]);
+                let post = qn_quantum::PairState::from_density(post, self.rep());
+                (m_na, m_nb, post)
             }
-        }
-        // Measure the sacrificed qubits in Z.
-        let m_na = joint.measure_z(b_at_na, rng.f64());
-        let m_nb = joint.measure_z(b_at_nb, rng.f64());
+        };
         let r_na = flip_with_readout(m_na, noise, rng);
         let r_nb = flip_with_readout(m_nb, noise, rng);
         let success = r_na == r_nb;
 
-        // The kept pair's post-circuit state.
-        let post = joint.partial_trace_keep(&[0, 1]);
         let freed = self.discard(sacrifice).expect("sacrificed pair existed");
-        self.replace_state(keep, post, BellState::PHI_PLUS);
+        self.replace_pair_state(keep, post, BellState::PHI_PLUS);
 
         DistillResult {
             success,

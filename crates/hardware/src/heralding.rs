@@ -32,6 +32,7 @@
 use crate::params::{FibreParams, HardwareParams};
 use qn_quantum::bell::BellState;
 use qn_quantum::matrix::CMatrix;
+use qn_quantum::pairstate::{PairState, StateRep};
 use qn_quantum::{DensityMatrix, C64};
 use qn_sim::{SimDuration, SimRng};
 
@@ -156,7 +157,14 @@ impl LinkPhysics {
 
         let m = &(&coh.scale(w.coherent / total) + &dbl.scale(w.double / total))
             + &dark.scale(w.dark / total);
-        DensityMatrix::from_matrix(m)
+        DensityMatrix::from_matrix_unchecked(m)
+    }
+
+    /// [`LinkPhysics::heralded_state`] in pair-state form: the heralded
+    /// state is an X-state by construction, so under the Bell-diagonal
+    /// representation the conversion is exact and lossless.
+    pub fn heralded_pair(&self, alpha: f64, announced: BellState, rep: StateRep) -> PairState {
+        PairState::from_density(self.heralded_state(alpha, announced), rep)
     }
 
     /// Sample which Bell state a successful attempt announces (Ψ⁺ or Ψ⁻

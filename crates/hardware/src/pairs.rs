@@ -27,6 +27,7 @@ use qn_quantum::bell::BellState;
 use qn_quantum::channels;
 use qn_quantum::gates::{self, Pauli};
 use qn_quantum::measure::swap_circuit_outcome;
+use qn_quantum::pairstate::{CondTable, PairState, StateRep};
 use qn_quantum::DensityMatrix;
 use qn_sim::{NodeId, SimRng, SimTime};
 use std::collections::HashMap;
@@ -58,7 +59,7 @@ pub struct PairEnd {
 pub struct Pair {
     /// The pair's identity in the store.
     pub id: PairId,
-    state: DensityMatrix,
+    state: PairState,
     /// The Bell state a *perfect* tracker would assign: the link layer's
     /// announced state for fresh pairs, XOR-combined through every swap.
     /// Protocol-level TRACK accounting must agree with this (tested), and
@@ -82,7 +83,7 @@ impl Pair {
 
     /// The current two-qubit state (without advancing decoherence — use
     /// [`PairStore::fidelity_to`] for oracle reads).
-    pub fn state(&self) -> &DensityMatrix {
+    pub fn state(&self) -> &PairState {
         &self.state
     }
 }
@@ -133,16 +134,55 @@ pub struct MeasureResult {
 }
 
 /// All live pairs in the network.
-#[derive(Default)]
+///
+/// The store runs on one of two state representations (the `QNP_QSTATE`
+/// knob, see [`StateRep`]): the Bell-diagonal closed-form fast path or
+/// dense density matrices. Both follow the same trajectory — identical
+/// RNG draw order and outcomes — the fast path just replaces every 4×4
+/// (and, for swaps/distillation, 16×16) matrix operation with a few
+/// dozen real multiplies.
 pub struct PairStore {
     pairs: HashMap<u64, Pair>,
     next: u64,
+    rep: StateRep,
+    /// Conditional-map tables for the noisy swap circuit, keyed by the
+    /// noise parameters' bit patterns and the pair orientation
+    /// `ia·2+ib`. `None` records a (never expected) X-closure failure:
+    /// that noise set permanently uses the dense path.
+    swap_tables: HashMap<(u64, u64, u8), Option<Box<CondTable>>>,
+    /// Same for the distillation circuit, keyed by noise bits and the
+    /// sacrificed pair's orientation.
+    distill_tables: HashMap<(u64, bool), Option<Box<CondTable>>>,
+}
+
+impl Default for PairStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PairStore {
-    /// An empty store.
+    /// An empty store on the representation selected by `QNP_QSTATE`
+    /// (default: the Bell-diagonal fast path).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_rep(StateRep::from_env())
+    }
+
+    /// An empty store on an explicit representation (tests, A/B
+    /// comparisons).
+    pub fn with_rep(rep: StateRep) -> Self {
+        PairStore {
+            pairs: HashMap::new(),
+            next: 0,
+            rep,
+            swap_tables: HashMap::new(),
+            distill_tables: HashMap::new(),
+        }
+    }
+
+    /// The active state representation.
+    pub fn rep(&self) -> StateRep {
+        self.rep
     }
 
     /// Number of live pairs.
@@ -156,7 +196,9 @@ impl PairStore {
     }
 
     /// Register a freshly heralded pair. `ends` lists `(node, qubit, t1,
-    /// t2)` for each side; end 0 corresponds to qubit 0 of `state`.
+    /// t2)` for each side; end 0 corresponds to qubit 0 of `state`. The
+    /// dense input converts to the fast representation when the active
+    /// [`StateRep`] allows it (every heralded state is X-form).
     pub fn create(
         &mut self,
         now: SimTime,
@@ -165,6 +207,23 @@ impl PairStore {
         ends: [(NodeId, QubitId, f64, f64); 2],
     ) -> PairId {
         assert_eq!(state.num_qubits(), 2);
+        self.create_pair(
+            now,
+            PairState::from_density(state, self.rep),
+            announced,
+            ends,
+        )
+    }
+
+    /// [`PairStore::create`] for a state already in pair-state form
+    /// (the heralding fast path constructs [`PairState`] directly).
+    pub fn create_pair(
+        &mut self,
+        now: SimTime,
+        state: PairState,
+        announced: BellState,
+        ends: [(NodeId, QubitId, f64, f64); 2],
+    ) -> PairId {
         let id = PairId(self.next);
         self.next += 1;
         let mk = |(node, qubit, t1, t2): (NodeId, QubitId, f64, f64)| PairEnd {
@@ -224,12 +283,11 @@ impl PairStore {
             }
             let gamma = channels::damping_prob(dt, end.t1);
             if gamma > 0.0 {
-                pair.state
-                    .apply_kraus(&channels::amplitude_damping(gamma), &[idx]);
+                pair.state.amplitude_damp(idx, gamma);
             }
             let p = channels::dephasing_prob(dt, end.t2);
             if p > 0.0 {
-                pair.state.apply_kraus(&channels::dephasing(p), &[idx]);
+                pair.state.dephase(idx, p);
             }
         }
     }
@@ -242,7 +300,7 @@ impl PairStore {
     pub fn fidelity_to(&mut self, id: PairId, expected: BellState, now: SimTime) -> f64 {
         self.advance(id, now);
         let pair = &self.pairs[&id.0];
-        pair.state.fidelity_pure(&expected.amplitudes())
+        pair.state.fidelity_bell(expected)
     }
 
     /// Apply a (perfect, per Table 1) Pauli correction to the end on
@@ -252,7 +310,7 @@ impl PairStore {
         let pair = self.pairs.get_mut(&id.0).expect("pauli on dead pair");
         let idx = pair.end_at(node).expect("node does not hold this pair");
         if pauli != Pauli::I {
-            pair.state.apply_unitary(&pauli.matrix(), &[idx]);
+            pair.state.apply_pauli(idx, pauli);
         }
         // Track the frame change on the reference state too, so the oracle
         // keeps measuring against what a perfect tracker would expect.
@@ -273,8 +331,15 @@ impl PairStore {
         }
         let pair = self.pairs.get_mut(&id.0).expect("dephase on dead pair");
         let idx = pair.end_at(node).expect("node does not hold this pair");
-        pair.state
-            .apply_kraus(&channels::dephasing(lambda.min(0.5)), &[idx]);
+        pair.state.dephase(idx, lambda.min(0.5));
+    }
+
+    /// Fully (or partially) depolarize the end on `node` — the fate of
+    /// an abandoned end whose qubit is re-initialised for new attempts.
+    pub fn depolarize_end(&mut self, id: PairId, node: NodeId, p: f64) {
+        let pair = self.pairs.get_mut(&id.0).expect("depolarize on dead pair");
+        let idx = pair.end_at(node).expect("node does not hold this pair");
+        pair.state.depolarize(idx, p);
     }
 
     /// Move the end on `node` to a different memory slot (electron →
@@ -295,8 +360,7 @@ impl PairStore {
         let pair = self.pairs.get_mut(&id.0).expect("retarget on dead pair");
         let idx = pair.end_at(node).expect("node does not hold this pair");
         if p_move > 0.0 {
-            pair.state
-                .apply_kraus(&channels::depolarizing(p_move), &[idx]);
+            pair.state.depolarize(idx, p_move);
         }
         let old = pair.ends[idx].qubit;
         pair.ends[idx].qubit = new_qubit;
@@ -321,8 +385,7 @@ impl PairStore {
         let pair = self.pairs.get_mut(&id.0).expect("measure on dead pair");
         let idx = pair.end_at(node).expect("node does not hold this pair");
         assert!(!pair.ends[idx].measured, "end already measured");
-        let true_outcome =
-            qn_quantum::measure::measure_pauli(&mut pair.state, idx, basis, rng.f64());
+        let true_outcome = pair.state.measure_pauli(idx, basis, rng.f64());
         pair.ends[idx].measured = true;
         let reported = apply_readout_error(true_outcome, readout, rng);
         MeasureResult {
@@ -365,32 +428,52 @@ impl PairStore {
         let oa = 1 - ia; // outer end of A
         let ob = 1 - ib;
 
-        // Joint register: [a0, a1, b0, b1].
-        let mut joint = a.state.tensor(&b.state);
-        let qa = ia; // control: A's qubit at the node
-        let qb = 2 + ib; // target: B's qubit at the node
+        // Fast path: both states Bell-diagonal and the conditional-map
+        // table for this noise/orientation is X-closed — the whole
+        // noisy circuit collapses to one 36-term contraction.
+        let fast = match (a.state.as_bell(), b.state.as_bell()) {
+            (Some(x), Some(y)) => self
+                .swap_table(noise, ia, ib)
+                .map(|t| {
+                    let u1 = rng.f64();
+                    let u2 = rng.f64();
+                    t.apply(x, y, u1, u2)
+                })
+                .map(|(m_control, m_target, post)| (m_control, m_target, PairState::Bell(post))),
+            _ => None,
+        };
 
-        // Noisy CNOT.
-        joint.apply_unitary(&gates::cnot(), &[qa, qb]);
-        if noise.p_two_qubit > 0.0 {
-            joint.apply_kraus(&channels::depolarizing_2q(noise.p_two_qubit), &[qa, qb]);
-        }
-        // Noisy H on the control.
-        joint.apply_unitary(&gates::h(), &[qa]);
-        if noise.p_single > 0.0 {
-            joint.apply_kraus(&channels::depolarizing(noise.p_single), &[qa]);
-        }
-        // Physical measurements: true outcomes collapse the state.
-        let m_control = joint.measure_z(qa, rng.f64());
-        let m_target = joint.measure_z(qb, rng.f64());
+        let (m_control, m_target, state) = match fast {
+            Some(res) => res,
+            None => {
+                // Dense path: joint register [a0, a1, b0, b1].
+                let mut joint = a.state.to_density().tensor(&b.state.to_density());
+                let qa = ia; // control: A's qubit at the node
+                let qb = 2 + ib; // target: B's qubit at the node
+
+                // Noisy CNOT.
+                joint.apply_unitary(&gates::cnot(), &[qa, qb]);
+                if noise.p_two_qubit > 0.0 {
+                    joint.apply_kraus(&channels::depolarizing_2q(noise.p_two_qubit), &[qa, qb]);
+                }
+                // Noisy H on the control.
+                joint.apply_unitary(&gates::h(), &[qa]);
+                if noise.p_single > 0.0 {
+                    joint.apply_kraus(&channels::depolarizing(noise.p_single), &[qa]);
+                }
+                // Physical measurements: true outcomes collapse the state.
+                let m_control = joint.measure_z(qa, rng.f64());
+                let m_target = joint.measure_z(qb, rng.f64());
+                // Remaining state on the outer ends (A's outer first).
+                let keep = [oa, 2 + ob];
+                let state = PairState::from_density(joint.partial_trace_keep(&keep), self.rep);
+                (m_control, m_target, state)
+            }
+        };
         // Announced outcomes pass through the imperfect readout.
         let r_control = apply_readout_error(m_control, &noise.readout, rng);
         let r_target = apply_readout_error(m_target, &noise.readout, rng);
         let outcome = swap_circuit_outcome(r_control, r_target);
-
-        // Remaining state on the outer ends (A's outer first).
-        let keep = [oa, 2 + ob];
-        let state = joint.partial_trace_keep(&keep);
 
         let announced = a.announced.combine(b.announced, outcome);
         let id = PairId(self.next);
@@ -422,25 +505,58 @@ impl PairStore {
     /// distillation circuit, which rebuilds the kept pair's state from
     /// the joint register).
     pub fn replace_state(&mut self, id: PairId, state: DensityMatrix, announced: BellState) {
-        let pair = self.pairs.get_mut(&id.0).expect("replace on dead pair");
         assert_eq!(state.num_qubits(), 2);
+        self.replace_pair_state(id, PairState::from_density(state, self.rep), announced);
+    }
+
+    /// [`PairStore::replace_state`] for a state already in pair-state
+    /// form.
+    pub fn replace_pair_state(&mut self, id: PairId, state: PairState, announced: BellState) {
+        let pair = self.pairs.get_mut(&id.0).expect("replace on dead pair");
         pair.state = state;
         pair.announced = announced;
     }
 
     /// Escape hatch for applications and experiments (teleportation
-    /// example, tomography tests): mutate the raw pair state.
+    /// example, tomography tests): mutate the raw pair state. Demotes
+    /// the pair to the dense representation — arbitrary mutations can
+    /// leave the Bell-diagonal family.
     pub fn with_state_mut<R>(
         &mut self,
         id: PairId,
         f: impl FnOnce(&mut DensityMatrix) -> R,
     ) -> Option<R> {
-        self.pairs.get_mut(&id.0).map(|p| f(&mut p.state))
+        self.pairs.get_mut(&id.0).map(|p| f(p.state.dm_mut()))
     }
 
     /// Iterate over all live pairs.
     pub fn iter(&self) -> impl Iterator<Item = &Pair> {
         self.pairs.values()
+    }
+
+    /// The cached conditional-map table for the swap circuit at this
+    /// noise level and orientation (built on first use).
+    fn swap_table(&mut self, noise: &SwapNoise, ia: usize, ib: usize) -> Option<&CondTable> {
+        let key = (
+            noise.p_two_qubit.to_bits(),
+            noise.p_single.to_bits(),
+            (ia * 2 + ib) as u8,
+        );
+        self.swap_tables
+            .entry(key)
+            .or_insert_with(|| {
+                CondTable::swap(noise.p_two_qubit, noise.p_single, ia, ib).map(Box::new)
+            })
+            .as_deref()
+    }
+
+    /// The cached conditional-map table for the distillation circuit.
+    pub(crate) fn distill_table(&mut self, p_two: f64, b0_at_na: bool) -> Option<&CondTable> {
+        let key = (p_two.to_bits(), b0_at_na);
+        self.distill_tables
+            .entry(key)
+            .or_insert_with(|| CondTable::distill(p_two, b0_at_na).map(Box::new))
+            .as_deref()
     }
 }
 

@@ -40,6 +40,9 @@ use std::collections::HashMap;
 /// Runtime configuration knobs.
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
+    /// Pair-state representation (`QNP_QSTATE`): the Bell-diagonal
+    /// fast path (default) or dense density matrices.
+    pub state_rep: qn_hardware::StateRep,
     /// Per-hop message processing delay (on top of fibre propagation).
     pub processing_delay: SimDuration,
     /// Extra injected per-hop delay (Fig 10c sweep).
@@ -63,6 +66,7 @@ pub struct RuntimeConfig {
 impl Default for RuntimeConfig {
     fn default() -> Self {
         RuntimeConfig {
+            state_rep: qn_hardware::StateRep::from_env(),
             processing_delay: SimDuration::from_micros(5),
             extra_message_delay: SimDuration::ZERO,
             message_jitter: SimDuration::ZERO,
@@ -284,7 +288,7 @@ impl NetworkModel {
             topology,
             nodes,
             links,
-            pairs: PairStore::new(),
+            pairs: PairStore::with_rep(cfg.state_rep),
             qubit_owner: HashMap::new(),
             refs: HashMap::new(),
             label_map: HashMap::new(),
@@ -444,16 +448,10 @@ impl NetworkModel {
                 self.refs.remove(&pid);
                 self.pairs.discard(pid);
             } else if reinitialise {
+                // Full depolarisation of the abandoned end: dephase,
+                // then mix the populations.
                 self.pairs.apply_dephasing(pid, node, 0.5);
-                // Full depolarisation of the abandoned end: dephase + mix
-                // populations via the store's escape hatch.
-                if let Some(pair) = self.pairs.get(pid) {
-                    if let Some(idx) = pair.end_at(node) {
-                        self.pairs.with_state_mut(pid, |state| {
-                            state.apply_kraus(&qn_quantum::channels::depolarizing(1.0), &[idx]);
-                        });
-                    }
-                }
+                self.pairs.depolarize_end(pid, node, 1.0);
             }
         }
         self.poll_links_of(ctx, node);
@@ -515,12 +513,14 @@ impl NetworkModel {
         let (pair, events) = l
             .proto
             .on_generation_complete(announced, inflight.attempts, elapsed);
-        let state = l.physics.heralded_state(inflight.alpha, announced);
+        let state = l
+            .physics
+            .heralded_pair(inflight.alpha, announced, self.pairs.rep());
         let (na, qa) = inflight.qubit_a;
         let (nb, qb) = inflight.qubit_b;
         let (t1a, t2a) = self.nodes[na.0 as usize].device.coherence_times(qa);
         let (t1b, t2b) = self.nodes[nb.0 as usize].device.coherence_times(qb);
-        let pid = self.pairs.create(
+        let pid = self.pairs.create_pair(
             ctx.now(),
             state,
             announced,

@@ -5,6 +5,10 @@
 //!
 //! * [`state::DensityMatrix`] — mixed states of 1–4 qubits with unitary
 //!   application, Kraus channels, measurement and partial trace;
+//! * [`pairstate`] — the dual-representation pair-state layer: the
+//!   [`pairstate::BellDiagonal`] closed-form fast path (selected by the
+//!   `QNP_QSTATE` knob) with the density matrix as general fallback,
+//!   plus the exact conditional-map tables for swap and distillation;
 //! * [`gates`] — standard gates plus the native NV controlled-√X;
 //! * [`channels`] — the noise processes of the paper (P1–P4): depolarizing,
 //!   dephasing, amplitude damping, and the fidelity↔parameter conversions;
@@ -44,10 +48,12 @@ pub mod formulas;
 pub mod gates;
 pub mod matrix;
 pub mod measure;
+pub mod pairstate;
 pub mod state;
 
 pub use bell::BellState;
 pub use complex::C64;
 pub use gates::Pauli;
 pub use matrix::CMatrix;
+pub use pairstate::{BellDiagonal, PairState, StateRep};
 pub use state::DensityMatrix;

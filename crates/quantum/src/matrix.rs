@@ -2,19 +2,91 @@
 //!
 //! The engine only ever manipulates matrices up to 16×16 (four qubits:
 //! two entangled pairs joined for an entanglement swap), so a simple
-//! row-major `Vec` with O(n³) multiplication is the right tool — no
-//! sparsity, no BLAS, no allocation tricks.
+//! row-major layout with O(n³) multiplication is the right tool — no
+//! sparsity, no BLAS.
+//!
+//! Storage is allocation-free for the hot sizes: matrices of up to 16
+//! entries (every 1- and 2-qubit gate, every Kraus operator, and — most
+//! importantly — every 4×4 pair state) live inline in the struct; only
+//! the 8×8/16×16 joint registers of swap and distillation circuits
+//! spill to the heap, and the in-place kernels ([`CMatrix::mul_into`],
+//! [`CMatrix::mul_dagger_into`]) let callers reuse those buffers across
+//! operations. The inline capacity is deliberately *not* 16×16: a 4 KiB
+//! always-inline matrix would make cloning pair states and building
+//! 16-element Kraus sets far more expensive than the allocations it
+//! avoids.
 
 use crate::complex::C64;
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
+/// Entries stored inline (4×4 — a two-qubit pair state — and smaller).
+const INLINE: usize = 16;
+
+/// Row-major element storage: inline up to [`INLINE`] entries, heap
+/// beyond.
+#[derive(Clone)]
+enum Data {
+    Inline { len: u8, buf: [C64; INLINE] },
+    Heap(Vec<C64>),
+}
+
+impl Data {
+    fn zeros(n: usize) -> Data {
+        if n <= INLINE {
+            Data::Inline {
+                len: n as u8,
+                buf: [C64::ZERO; INLINE],
+            }
+        } else {
+            Data::Heap(vec![C64::ZERO; n])
+        }
+    }
+
+    fn from_vec(v: Vec<C64>) -> Data {
+        if v.len() <= INLINE {
+            let mut buf = [C64::ZERO; INLINE];
+            buf[..v.len()].copy_from_slice(&v);
+            Data::Inline {
+                len: v.len() as u8,
+                buf,
+            }
+        } else {
+            Data::Heap(v)
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[C64] {
+        match self {
+            Data::Inline { len, buf } => &buf[..*len as usize],
+            Data::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [C64] {
+        match self {
+            Data::Inline { len, buf } => &mut buf[..*len as usize],
+            Data::Heap(v) => v,
+        }
+    }
+}
+
 /// A dense complex matrix.
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct CMatrix {
     rows: usize,
     cols: usize,
-    data: Vec<C64>,
+    data: Data,
+}
+
+impl PartialEq for CMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.data.as_slice() == other.data.as_slice()
+    }
 }
 
 impl CMatrix {
@@ -23,7 +95,83 @@ impl CMatrix {
         CMatrix {
             rows,
             cols,
-            data: vec![C64::ZERO; rows * cols],
+            data: Data::zeros(rows * cols),
+        }
+    }
+
+    /// Reshape to `rows`×`cols` and zero every entry. Heap storage is
+    /// sticky: once a buffer has grown past the inline capacity it
+    /// keeps its allocation even when shrunk back to a small shape, so
+    /// the per-thread scratch buffers that alternate between 4×4 pair
+    /// ops and 16×16 swap registers never re-allocate.
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        self.rows = rows;
+        self.cols = cols;
+        match &mut self.data {
+            Data::Heap(v) => {
+                v.clear();
+                v.resize(n, C64::ZERO);
+            }
+            d => *d = Data::zeros(n),
+        }
+    }
+
+    /// `out = a · b`, reusing `out`'s storage. Same arithmetic order as
+    /// the allocating `Mul` impl (bit-identical results).
+    pub fn mul_into(a: &CMatrix, b: &CMatrix, out: &mut CMatrix) {
+        assert_eq!(a.cols, b.rows, "dimension mismatch in matrix product");
+        out.reset_zeros(a.rows, b.cols);
+        let bs = b.data.as_slice();
+        let os = out.data.as_mut_slice();
+        for i in 0..a.rows {
+            for k in 0..a.cols {
+                let x = a[(i, k)];
+                if x == C64::ZERO {
+                    continue;
+                }
+                let orow = i * b.cols;
+                let brow = k * b.cols;
+                for j in 0..b.cols {
+                    os[orow + j] += x * bs[brow + j];
+                }
+            }
+        }
+    }
+
+    /// `out = a · b†` without materialising `b†`, reusing `out`'s
+    /// storage. Loop order matches `&a * &b.dagger()` exactly.
+    pub fn mul_dagger_into(a: &CMatrix, b: &CMatrix, out: &mut CMatrix) {
+        assert_eq!(a.cols, b.cols, "dimension mismatch in a·b†");
+        out.reset_zeros(a.rows, b.rows);
+        let os = out.data.as_mut_slice();
+        for i in 0..a.rows {
+            for k in 0..a.cols {
+                let x = a[(i, k)];
+                if x == C64::ZERO {
+                    continue;
+                }
+                let orow = i * b.rows;
+                for j in 0..b.rows {
+                    os[orow + j] += x * b[(j, k)].conj();
+                }
+            }
+        }
+    }
+
+    /// Entry-wise `self += other`.
+    pub fn add_assign_mat(&mut self, other: &CMatrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let os = other.data.as_slice();
+        for (a, b) in self.data.as_mut_slice().iter_mut().zip(os) {
+            *a += *b;
+        }
+    }
+
+    /// Entry-wise in-place scaling by a real factor.
+    pub fn scale_in_place(&mut self, k: f64) {
+        for z in self.data.as_mut_slice() {
+            *z = z.scale(k);
         }
     }
 
@@ -48,7 +196,7 @@ impl CMatrix {
         CMatrix {
             rows: r,
             cols: c,
-            data,
+            data: Data::from_vec(data),
         }
     }
 
@@ -58,7 +206,7 @@ impl CMatrix {
         CMatrix {
             rows,
             cols,
-            data: vals.iter().map(|v| C64::real(*v)).collect(),
+            data: Data::from_vec(vals.iter().map(|v| C64::real(*v)).collect()),
         }
     }
 
@@ -67,7 +215,7 @@ impl CMatrix {
         CMatrix {
             rows: v.len(),
             cols: 1,
-            data: v.to_vec(),
+            data: Data::from_vec(v.to_vec()),
         }
     }
 
@@ -127,7 +275,7 @@ impl CMatrix {
         CMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|z| z.scale(k)).collect(),
+            data: Data::from_vec(self.data.as_slice().iter().map(|z| z.scale(k)).collect()),
         }
     }
 
@@ -136,7 +284,7 @@ impl CMatrix {
         CMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|z| *z * k).collect(),
+            data: Data::from_vec(self.data.as_slice().iter().map(|z| *z * k).collect()),
         }
     }
 
@@ -161,8 +309,9 @@ impl CMatrix {
             && self.cols == other.cols
             && self
                 .data
+                .as_slice()
                 .iter()
-                .zip(&other.data)
+                .zip(other.data.as_slice())
                 .all(|(a, b)| a.approx_eq(*b, eps))
     }
 
@@ -177,41 +326,80 @@ impl CMatrix {
 
     /// Raw row-major data.
     pub fn data(&self) -> &[C64] {
-        &self.data
+        self.data.as_slice()
+    }
+}
+
+/// Expand a `k`-qubit operator onto the given (distinct) target qubits
+/// of an `n`-qubit space. The first target corresponds to the most
+/// significant bit of the operator's index (qubit 0 = MSB, matching
+/// [`crate::gates`]).
+pub fn embed_op(n: usize, op: &CMatrix, targets: &[usize]) -> CMatrix {
+    let mut out = CMatrix::zeros(1 << n, 1 << n);
+    embed_op_into(n, op, targets, &mut out);
+    out
+}
+
+/// [`embed_op`] writing into a caller-provided buffer.
+pub fn embed_op_into(n: usize, op: &CMatrix, targets: &[usize], out: &mut CMatrix) {
+    let k = targets.len();
+    assert_eq!(op.rows(), 1 << k, "operator size mismatch");
+    assert!(targets.iter().all(|q| *q < n), "target out of range");
+    {
+        let mut seen = 0usize;
+        for q in targets {
+            assert!(seen & (1 << q) == 0, "duplicate target {q}");
+            seen |= 1 << q;
+        }
+    }
+    let dim = 1usize << n;
+    let target_mask: usize = targets.iter().map(|q| 1usize << (n - 1 - q)).sum();
+    out.reset_zeros(dim, dim);
+    for i in 0..dim {
+        // Sub-index of i over the targets (first target = MSB).
+        let mut ti = 0usize;
+        for q in targets {
+            ti = (ti << 1) | ((i >> (n - 1 - q)) & 1);
+        }
+        let rest = i & !target_mask;
+        for tj in 0..(1usize << k) {
+            let v = op[(ti, tj)];
+            if v == C64::ZERO {
+                continue;
+            }
+            let mut j = rest;
+            for (pos, q) in targets.iter().enumerate() {
+                let bit = (tj >> (k - 1 - pos)) & 1;
+                j |= bit << (n - 1 - q);
+            }
+            out[(i, j)] = v;
+        }
     }
 }
 
 impl std::ops::Index<(usize, usize)> for CMatrix {
     type Output = C64;
+    #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &C64 {
         debug_assert!(i < self.rows && j < self.cols);
-        &self.data[i * self.cols + j]
+        &self.data.as_slice()[i * self.cols + j]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
         debug_assert!(i < self.rows && j < self.cols);
-        &mut self.data[i * self.cols + j]
+        let cols = self.cols;
+        &mut self.data.as_mut_slice()[i * cols + j]
     }
 }
 
 impl Mul for &CMatrix {
     type Output = CMatrix;
     fn mul(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix product");
         let mut out = CMatrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == C64::ZERO {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += a * rhs[(k, j)];
-                }
-            }
-        }
+        CMatrix::mul_into(self, rhs, &mut out);
         out
     }
 }
@@ -223,12 +411,14 @@ impl Add for &CMatrix {
         CMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(a, b)| *a + *b)
-                .collect(),
+            data: Data::from_vec(
+                self.data
+                    .as_slice()
+                    .iter()
+                    .zip(rhs.data.as_slice())
+                    .map(|(a, b)| *a + *b)
+                    .collect(),
+            ),
         }
     }
 }
@@ -240,12 +430,14 @@ impl Sub for &CMatrix {
         CMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(a, b)| *a - *b)
-                .collect(),
+            data: Data::from_vec(
+                self.data
+                    .as_slice()
+                    .iter()
+                    .zip(rhs.data.as_slice())
+                    .map(|(a, b)| *a - *b)
+                    .collect(),
+            ),
         }
     }
 }
@@ -333,6 +525,70 @@ mod tests {
         let had = CMatrix::from_reals(2, 2, &[s, s, s, -s]);
         assert!(had.is_unitary(1e-12));
         assert!(!CMatrix::from_reals(2, 2, &[1.0, 1.0, 0.0, 1.0]).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn mul_into_matches_allocating_mul() {
+        let a = CMatrix::from_reals(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = CMatrix::from_reals(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = CMatrix::zeros(1, 1); // wrong shape: must be reset
+        CMatrix::mul_into(&a, &b, &mut out);
+        assert_eq!(out, &a * &b);
+    }
+
+    #[test]
+    fn mul_dagger_into_matches_explicit_dagger() {
+        let a = CMatrix::from_rows(&[
+            &[C64::new(1.0, 2.0), C64::new(0.0, -1.0)],
+            &[C64::new(3.0, 0.5), C64::new(0.0, 4.0)],
+        ]);
+        let b = CMatrix::from_rows(&[
+            &[C64::new(0.5, -1.0), C64::new(2.0, 0.0)],
+            &[C64::new(0.0, 1.5), C64::new(-1.0, 0.25)],
+        ]);
+        let mut out = CMatrix::zeros(2, 2);
+        CMatrix::mul_dagger_into(&a, &b, &mut out);
+        assert_eq!(out, &a * &b.dagger());
+    }
+
+    #[test]
+    fn add_assign_and_scale_in_place() {
+        let a = CMatrix::from_reals(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = CMatrix::from_reals(2, 2, &[0.5, 0.5, 0.5, 0.5]);
+        let mut acc = a.clone();
+        acc.add_assign_mat(&b);
+        assert_eq!(acc, &a + &b);
+        acc.scale_in_place(2.0);
+        assert_eq!(acc, (&a + &b).scale(2.0));
+    }
+
+    #[test]
+    fn reset_zeros_reuses_across_sizes() {
+        let mut m = CMatrix::zeros(16, 16); // heap
+        m[(3, 7)] = r(1.0);
+        m.reset_zeros(2, 2); // shrink to inline-sized
+        assert_eq!(m.rows(), 2);
+        assert!(m.data().iter().all(|z| *z == C64::ZERO));
+        m.reset_zeros(16, 16); // grow again
+        assert_eq!(m.data().len(), 256);
+        assert!(m.data().iter().all(|z| *z == C64::ZERO));
+    }
+
+    #[test]
+    fn inline_and_heap_sized_matrices_compare_by_value() {
+        // 4 entries (inline) vs 4 entries built through Vec paths.
+        let a = CMatrix::from_reals(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = &a + &CMatrix::zeros(2, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn embed_op_identity_on_rest() {
+        // X on qubit 1 of a 2-qubit space: I ⊗ X.
+        let x = CMatrix::from_reals(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let full = embed_op(2, &x, &[1]);
+        let expect = CMatrix::identity(2).kron(&x);
+        assert!(full.approx_eq(&expect, 0.0));
     }
 
     #[test]

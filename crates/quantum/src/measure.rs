@@ -102,7 +102,7 @@ pub fn bell_measure_ideal(
     if keep.is_empty() {
         return (outcome, None);
     }
-    let post = DensityMatrix::from_matrix(normalised).partial_trace_keep(&keep);
+    let post = DensityMatrix::from_matrix_unchecked(normalised).partial_trace_keep(&keep);
     (outcome, Some(post))
 }
 

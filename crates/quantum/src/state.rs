@@ -10,10 +10,31 @@
 //! and trivially deterministic to test.
 
 use crate::complex::C64;
-use crate::matrix::CMatrix;
+use crate::matrix::{embed_op_into, CMatrix};
+use std::cell::RefCell;
 
 /// Tolerance for trace/hermiticity sanity checks.
 const EPS: f64 = 1e-9;
+
+/// Reusable per-thread work buffers for the in-place kernels: the hot
+/// paths (`apply_unitary`, `apply_kraus`, `project_z`) allocate nothing
+/// after the first 16×16 operation on a thread. The buffers never nest
+/// (no kernel calls another kernel while holding the borrow).
+struct Scratch {
+    full: CMatrix,
+    tmp: CMatrix,
+    term: CMatrix,
+    acc: CMatrix,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch {
+        full: CMatrix::zeros(1, 1),
+        tmp: CMatrix::zeros(1, 1),
+        term: CMatrix::zeros(1, 1),
+        acc: CMatrix::zeros(1, 1),
+    });
+}
 
 /// A mixed state of `n` qubits as a 2ⁿ×2ⁿ density matrix.
 ///
@@ -62,7 +83,9 @@ impl DensityMatrix {
     }
 
     /// Wrap an explicit matrix; validates dimensions, hermiticity and unit
-    /// trace.
+    /// trace. This is the constructor for API boundaries and tests; hot
+    /// paths that build matrices known-valid by construction use
+    /// [`DensityMatrix::from_matrix_unchecked`].
     pub fn from_matrix(m: CMatrix) -> Self {
         assert!(m.is_square());
         let dim = m.rows();
@@ -75,6 +98,25 @@ impl DensityMatrix {
         );
         DensityMatrix {
             n: dim.trailing_zeros() as usize,
+            m,
+        }
+    }
+
+    /// Wrap a matrix that is a valid density matrix *by construction*
+    /// (heralded-state assembly, projective-measurement branches).
+    /// Validation runs only under `debug_assertions`, keeping release
+    /// hot paths free of the O(n²) hermiticity sweep.
+    pub fn from_matrix_unchecked(m: CMatrix) -> Self {
+        debug_assert!(m.is_square());
+        debug_assert!(m.rows().is_power_of_two() && m.rows() >= 2);
+        debug_assert!(m.is_hermitian(1e-7), "density matrix must be hermitian");
+        debug_assert!(
+            (m.trace().re - 1.0).abs() < 1e-6 && m.trace().im.abs() < 1e-9,
+            "density matrix must have unit trace, got {:?}",
+            m.trace()
+        );
+        DensityMatrix {
+            n: m.rows().trailing_zeros() as usize,
             m,
         }
     }
@@ -116,59 +158,41 @@ impl DensityMatrix {
     /// of this state's space. The first target corresponds to the most
     /// significant bit of the operator's index.
     pub fn embed(&self, op: &CMatrix, targets: &[usize]) -> CMatrix {
-        let n = self.n;
-        let k = targets.len();
-        assert_eq!(op.rows(), 1 << k, "operator size mismatch");
-        assert!(targets.iter().all(|q| *q < n), "target out of range");
-        {
-            let mut seen = 0usize;
-            for q in targets {
-                assert!(seen & (1 << q) == 0, "duplicate target {q}");
-                seen |= 1 << q;
-            }
-        }
-        let dim = 1usize << n;
-        let target_mask: usize = targets.iter().map(|q| 1usize << (n - 1 - q)).sum();
-        let mut full = CMatrix::zeros(dim, dim);
-        for i in 0..dim {
-            // Sub-index of i over the targets (first target = MSB).
-            let mut ti = 0usize;
-            for q in targets {
-                ti = (ti << 1) | ((i >> (n - 1 - q)) & 1);
-            }
-            let rest = i & !target_mask;
-            for tj in 0..(1usize << k) {
-                let v = op[(ti, tj)];
-                if v == C64::ZERO {
-                    continue;
-                }
-                let mut j = rest;
-                for (pos, q) in targets.iter().enumerate() {
-                    let bit = (tj >> (k - 1 - pos)) & 1;
-                    j |= bit << (n - 1 - q);
-                }
-                full[(i, j)] = v;
-            }
-        }
-        full
+        crate::matrix::embed_op(self.n, op, targets)
     }
 
     /// Apply a unitary to the given target qubits: `ρ ← UρU†`.
+    /// Allocation-free after warm-up: embedding and both products go
+    /// through the per-thread scratch buffers, with arithmetic order
+    /// identical to the textbook `U·ρ·U†` expression.
     pub fn apply_unitary(&mut self, u: &CMatrix, targets: &[usize]) {
-        let full = self.embed(u, targets);
-        self.m = &(&full * &self.m) * &full.dagger();
+        SCRATCH.with(|s| {
+            let s = &mut *s.borrow_mut();
+            embed_op_into(self.n, u, targets, &mut s.full);
+            CMatrix::mul_into(&s.full, &self.m, &mut s.tmp);
+            CMatrix::mul_dagger_into(&s.tmp, &s.full, &mut s.acc);
+            std::mem::swap(&mut self.m, &mut s.acc);
+        });
     }
 
     /// Apply a Kraus channel `{Kᵢ}` to the given targets:
     /// `ρ ← Σᵢ KᵢρKᵢ†`. The set must be trace preserving (checked loosely).
+    /// In-place via the scratch buffers; each term is fully formed before
+    /// being accumulated so the summation order (and therefore the exact
+    /// floating-point result) matches the allocating formulation.
     pub fn apply_kraus(&mut self, kraus: &[CMatrix], targets: &[usize]) {
         let dim = self.dim();
-        let mut out = CMatrix::zeros(dim, dim);
-        for k in kraus {
-            let full = self.embed(k, targets);
-            out = &out + &(&(&full * &self.m) * &full.dagger());
-        }
-        self.m = out;
+        SCRATCH.with(|s| {
+            let s = &mut *s.borrow_mut();
+            s.acc.reset_zeros(dim, dim);
+            for k in kraus {
+                embed_op_into(self.n, k, targets, &mut s.full);
+                CMatrix::mul_into(&s.full, &self.m, &mut s.tmp);
+                CMatrix::mul_dagger_into(&s.tmp, &s.full, &mut s.term);
+                s.acc.add_assign_mat(&s.term);
+            }
+            std::mem::swap(&mut self.m, &mut s.acc);
+        });
         let tr = self.m.trace().re;
         debug_assert!(
             (tr - 1.0).abs() < 1e-6,
@@ -176,7 +200,7 @@ impl DensityMatrix {
         );
         // Remove accumulated floating-point drift.
         if (tr - 1.0).abs() > EPS {
-            self.m = self.m.scale(1.0 / tr);
+            self.m.scale_in_place(1.0 / tr);
         }
     }
 
@@ -209,16 +233,21 @@ impl DensityMatrix {
         let shift = self.n - 1 - qubit;
         let dim = self.dim();
         let want = usize::from(outcome);
-        let mut proj = CMatrix::zeros(dim, dim);
-        for i in 0..dim {
-            if (i >> shift) & 1 == want {
-                proj[(i, i)] = C64::ONE;
+        SCRATCH.with(|s| {
+            let s = &mut *s.borrow_mut();
+            s.full.reset_zeros(dim, dim);
+            for i in 0..dim {
+                if (i >> shift) & 1 == want {
+                    s.full[(i, i)] = C64::ONE;
+                }
             }
-        }
-        let projected = &(&proj * &self.m) * &proj;
-        let p = projected.trace().re;
+            CMatrix::mul_into(&s.full, &self.m, &mut s.tmp);
+            CMatrix::mul_into(&s.tmp, &s.full, &mut s.acc);
+            std::mem::swap(&mut self.m, &mut s.acc);
+        });
+        let p = self.m.trace().re;
         debug_assert!(p > 1e-12, "projecting onto zero-probability outcome");
-        self.m = projected.scale(1.0 / p.max(1e-300));
+        self.m.scale_in_place(1.0 / p.max(1e-300));
     }
 
     /// Partial trace keeping the listed qubits, in the order given.

@@ -202,10 +202,16 @@ impl Criterion {
 
 /// Write `results` as a JSON baseline named `bench_name`, in the schema
 /// of `qn_bench::report` (hand-rolled here: the shim cannot depend on
-/// the workspace it serves). Timings are wall-clock noisy, so the diff
-/// tolerance that makes sense for these metrics is much wider than for
-/// simulation statistics.
-pub fn write_baseline(bench_name: &str, results: &[BenchResult]) -> std::io::Result<()> {
+/// the workspace it serves). Timings are host-dependent wall-clock
+/// noise, so every metric is declared `informational`: the baseline
+/// differ reports movements but never classifies them as regressions —
+/// a committed micro baseline documents a reference machine, it does
+/// not gate CI. `wall_clock_s` (the whole bench run) lands in `meta`.
+pub fn write_baseline(
+    bench_name: &str,
+    results: &[BenchResult],
+    wall_clock_s: f64,
+) -> std::io::Result<()> {
     // A name filter (`cargo bench --bench micro -- <substring>`) runs
     // only a subset; writing that subset would clobber the full
     // baseline and make every skipped benchmark diff as "missing".
@@ -229,18 +235,31 @@ pub fn write_baseline(bench_name: &str, results: &[BenchResult]) -> std::io::Res
     out.push_str(&format!("  \"figure\": {:?},\n", bench_name));
     out.push_str("  \"config\": {},\n");
     out.push_str("  \"directions\": {\n");
-    out.push_str("    \"mean_ns\": \"lower_is_better\",\n");
-    out.push_str("    \"min_ns\": \"lower_is_better\",\n");
+    out.push_str("    \"mean_ns\": \"informational\",\n");
+    out.push_str("    \"min_ns\": \"informational\",\n");
+    out.push_str("    \"max_ns\": \"informational\",\n");
+    out.push_str("    \"events_per_sec\": \"informational\",\n");
     out.push_str("    \"samples\": \"informational\"\n");
     out.push_str("  },\n");
     out.push_str("  \"points\": [\n");
     for (i, r) in results.iter().enumerate() {
+        // Guard division and stay valid JSON ({:?} on NaN would emit a
+        // bare `NaN` token the hand-rolled parser rejects).
+        let events_per_sec = if r.mean_ns > 0.0 {
+            1e9 / r.mean_ns
+        } else {
+            0.0
+        };
         out.push_str("    {\n");
         out.push_str(&format!("      \"label\": {:?},\n", r.id));
         out.push_str("      \"metrics\": {\n");
         out.push_str(&format!("        \"mean_ns\": {:?},\n", r.mean_ns));
         out.push_str(&format!("        \"min_ns\": {:?},\n", r.min_ns));
         out.push_str(&format!("        \"max_ns\": {:?},\n", r.max_ns));
+        out.push_str(&format!(
+            "        \"events_per_sec\": {:?},\n",
+            events_per_sec
+        ));
         out.push_str(&format!("        \"samples\": {:?}\n", r.samples as f64));
         out.push_str("      }\n");
         out.push_str(if i + 1 < results.len() {
@@ -250,7 +269,9 @@ pub fn write_baseline(bench_name: &str, results: &[BenchResult]) -> std::io::Res
         });
     }
     out.push_str("  ],\n");
-    out.push_str("  \"meta\": {}\n");
+    out.push_str("  \"meta\": {\n");
+    out.push_str(&format!("    \"wall_clock_s\": {:?}\n", wall_clock_s));
+    out.push_str("  }\n");
     out.push_str("}\n");
     let path = dir.join(format!("{bench_name}.json"));
     std::fs::write(&path, out)?;
@@ -286,9 +307,13 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            let wall_start = ::std::time::Instant::now();
             let mut all: ::std::vec::Vec<$crate::BenchResult> = ::std::vec::Vec::new();
             $( all.extend($group()); )+
-            if let Err(e) = $crate::write_baseline(env!("CARGO_CRATE_NAME"), &all) {
+            let wall_clock_s = wall_start.elapsed().as_secs_f64();
+            if let Err(e) =
+                $crate::write_baseline(env!("CARGO_CRATE_NAME"), &all, wall_clock_s)
+            {
                 eprintln!("warning: could not write bench baseline: {e}");
             }
         }
