@@ -105,6 +105,14 @@ impl SymmetricDemux {
         self.latest
     }
 
+    /// Whether the newest (not necessarily active) request set still
+    /// contains `id` — i.e. the request has not been retired yet. Used
+    /// to absorb duplicated COMPLETEs: removing twice would fork a
+    /// spurious epoch at one end only.
+    pub fn in_latest(&self, id: RequestId) -> bool {
+        self.epochs[&self.latest].contains(&id)
+    }
+
     /// The currently active epoch.
     pub fn active(&self) -> Epoch {
         self.active

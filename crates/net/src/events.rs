@@ -91,6 +91,17 @@ pub enum NetInput {
         /// The (readout-noisy) outcome.
         outcome: bool,
     },
+    /// A runtime-armed expiry fired for a pair an end-node is still
+    /// holding unconfirmed (no TRACK/EXPIRE arrived). Only armed when
+    /// the classical plane is faulty — on a reliable plane every chain
+    /// resolves via TRACK or EXPIRE and end-nodes never need timers
+    /// (§4.1 "Cutoff time").
+    TrackTimeout {
+        /// The circuit of the unconfirmed pair.
+        circuit: CircuitId,
+        /// The pair's correlator at this end-node.
+        correlator: Correlator,
+    },
     /// A cutoff timer set via [`NetOutput::SetCutoff`] fired.
     CutoffExpired {
         /// The circuit of the expired pair.
@@ -113,6 +124,7 @@ impl NetInput {
             | NetInput::LinkPair { circuit, .. }
             | NetInput::SwapCompleted { circuit, .. }
             | NetInput::MeasureCompleted { circuit, .. }
+            | NetInput::TrackTimeout { circuit, .. }
             | NetInput::CutoffExpired { circuit, .. } => *circuit,
             NetInput::Message { msg, .. } => msg.circuit(),
         }

@@ -15,7 +15,9 @@
 //! * [`request`] — the service classes of §3.2 (fidelity + time QoS,
 //!   KEEP/EARLY/MEASURE delivery);
 //! * [`routing_table`] — the per-circuit data-plane state installed by
-//!   signalling (§4.1).
+//!   signalling (§4.1);
+//! * [`wire`] — the versioned binary wire format every signalling
+//!   message is encoded to before crossing a classical channel.
 //!
 //! The node core is **sans-IO**: it consumes typed inputs and returns
 //! typed effects, never touching clocks, queues or quantum state. The
@@ -43,12 +45,14 @@ pub mod policing;
 pub mod request;
 pub mod routing_table;
 pub mod rules;
+pub mod wire;
 
 pub use demux::SymmetricDemux;
 pub use events::{AppEvent, Delivery, DeliveryKind, NetInput, NetOutput, PairInfo};
 pub use ids::{Address, CircuitId, Correlator, Epoch, PairHandle, PairRef, RequestId};
 pub use messages::{Complete, Expire, Forward, Message, Track};
-pub use node::QnpNode;
+pub use node::{NodeStats, QnpNode};
 pub use policing::{AdmitDecision, Policer};
 pub use request::{Demand, RequestType, UserRequest};
 pub use routing_table::{DownstreamHop, LinkSide, Role, RoutingEntry, UpstreamHop};
+pub use wire::{DecodeError, Wire, WireReader, WireWriter, WIRE_VERSION};

@@ -17,6 +17,55 @@ use crate::request::RequestType;
 use crate::routing_table::{Role, RoutingEntry};
 use qn_quantum::bell::BellState;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+
+/// A set remembering (at most) the `cap` most recently inserted keys,
+/// evicting oldest-first: the bounded-memory record books (discard
+/// records, retired requests) a faulty classical plane can otherwise
+/// grow without limit.
+#[derive(Debug)]
+pub(crate) struct BoundedSet<T> {
+    set: HashSet<T>,
+    order: VecDeque<T>,
+    cap: usize,
+}
+
+impl<T: Eq + Hash + Copy> BoundedSet<T> {
+    pub fn new(cap: usize) -> Self {
+        BoundedSet {
+            set: HashSet::new(),
+            order: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Insert `v`, evicting the oldest keys beyond capacity.
+    pub fn insert(&mut self, v: T) {
+        if !self.set.insert(v) {
+            return;
+        }
+        self.order.push_back(v);
+        while self.order.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+    }
+
+    /// Remove `v`, reporting whether it was present. The eviction order
+    /// keeps a stale entry, so re-inserting a removed key can evict it
+    /// earlier than `cap` inserts later — safe for these best-effort
+    /// record books (every lookup tolerates absence), and the keys in
+    /// use (pair correlators) are never re-inserted anyway.
+    pub fn remove(&mut self, v: &T) -> bool {
+        self.set.remove(v)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: &T) -> bool {
+        self.set.contains(v)
+    }
+}
 
 /// State of one request known at an end-node.
 #[derive(Clone, Debug)]
@@ -76,13 +125,27 @@ pub(crate) struct EndpointState {
     /// Whether the circuit's link request is live on our single link.
     pub link_submitted: bool,
     /// Discard records for link pairs this end could not assign to any
-    /// request: when the peer's TRACK for such a chain arrives, it is
-    /// answered with an EXPIRE so the peer's qubit is freed (the
-    /// end-node analogue of the repeater's discard records; without it a
-    /// timing window leaks an `assigned` slot at the peer forever).
-    pub discard_records: HashSet<Correlator>,
-    /// FIFO of discard records for bounded eviction.
-    pub discard_order: VecDeque<Correlator>,
+    /// request (or expired locally): when the peer's TRACK for such a
+    /// chain arrives, it is answered with an EXPIRE so the peer's qubit
+    /// is freed (the end-node analogue of the repeater's discard
+    /// records; without it a timing window leaks an `assigned` slot at
+    /// the peer forever).
+    pub discard_records: BoundedSet<Correlator>,
+}
+
+impl EndpointState {
+    /// Fresh endpoint state for one end of a circuit.
+    pub fn new(is_head: bool, max_eer: f64) -> Self {
+        EndpointState {
+            is_head,
+            requests: BTreeMap::new(),
+            demux: SymmetricDemux::new(),
+            in_transit: HashMap::new(),
+            policer: Policer::new(max_eer),
+            link_submitted: false,
+            discard_records: BoundedSet::new(4096),
+        }
+    }
 }
 
 /// A pair queued at a repeater awaiting its matching pair.
@@ -103,7 +166,7 @@ pub(crate) struct SwapRecord {
 }
 
 /// Intermediate-node circuit state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct MidState {
     /// FIFO of unswapped pairs on the upstream link (oldest first — the
     /// evaluation's "prefer the oldest unexpired pairs").
@@ -124,7 +187,34 @@ pub(crate) struct MidState {
     pub down_expired: HashSet<Correlator>,
     /// Requests currently active on the circuit (from FORWARD/COMPLETE).
     pub active_requests: u64,
+    /// Request ids currently counted in `active_requests` — lets a
+    /// faulty plane's duplicated FORWARD/COMPLETE be absorbed without
+    /// corrupting the count (the link would otherwise generate forever).
+    pub counted_requests: HashSet<RequestId>,
+    /// Recently retired request ids: a FORWARD duplicate arriving after
+    /// its COMPLETE must not resurrect the request.
+    pub retired_requests: BoundedSet<RequestId>,
     pub link_submitted: bool,
+}
+
+impl Default for MidState {
+    fn default() -> Self {
+        MidState {
+            up_queue: VecDeque::new(),
+            down_queue: VecDeque::new(),
+            swapping: None,
+            up_track: HashMap::new(),
+            down_track: HashMap::new(),
+            up_record: HashMap::new(),
+            down_record: HashMap::new(),
+            up_expired: HashSet::new(),
+            down_expired: HashSet::new(),
+            active_requests: 0,
+            counted_requests: HashSet::new(),
+            retired_requests: BoundedSet::new(1024),
+            link_submitted: false,
+        }
+    }
 }
 
 /// Per-circuit state at one node.
@@ -141,10 +231,61 @@ pub(crate) struct Circuit {
     pub state: CircuitState,
 }
 
+/// Resilience counters: anomalous classical-plane inputs the node
+/// absorbed instead of acting on. All zero on a reliable, in-order
+/// plane; a faulty classical plane (drops, duplicates, reordering,
+/// corruption — `qn_netsim`'s `ClassicalFaults`) makes them tick.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NodeStats {
+    /// FORWARDs for an already-known request (duplication faults).
+    pub duplicate_forwards: u64,
+    /// COMPLETEs for an already-retired request.
+    pub duplicate_completes: u64,
+    /// Role-inconsistent messages ignored (e.g. a FORWARD arriving at a
+    /// head-end — only possible via corruption).
+    pub misrouted: u64,
+    /// TRACKs matching no in-transit pair, record or discard record
+    /// (duplicated or corrupted TRACKs).
+    pub stale_tracks: u64,
+    /// EXPIREs matching no in-transit pair.
+    pub stale_expires: u64,
+    /// In-transit pairs expired by the local track-timeout (their
+    /// TRACK/EXPIRE never arrived).
+    pub expired_in_transit: u64,
+    /// Messages for circuits not installed at this node.
+    pub unknown_circuit: u64,
+}
+
+impl NodeStats {
+    /// Element-wise sum (for aggregating across nodes).
+    pub fn merge(&mut self, other: &NodeStats) {
+        self.duplicate_forwards += other.duplicate_forwards;
+        self.duplicate_completes += other.duplicate_completes;
+        self.misrouted += other.misrouted;
+        self.stale_tracks += other.stale_tracks;
+        self.stale_expires += other.stale_expires;
+        self.expired_in_transit += other.expired_in_transit;
+        self.unknown_circuit += other.unknown_circuit;
+    }
+
+    /// Total anomalies absorbed.
+    pub fn total(&self) -> u64 {
+        self.duplicate_forwards
+            + self.duplicate_completes
+            + self.misrouted
+            + self.stale_tracks
+            + self.stale_expires
+            + self.expired_in_transit
+            + self.unknown_circuit
+    }
+}
+
 /// The QNP protocol instance at one node.
 pub struct QnpNode {
     node: qn_sim::NodeId,
     pub(crate) circuits: HashMap<u64, Circuit>,
+    /// Resilience counters (see [`NodeStats`]).
+    pub stats: NodeStats,
 }
 
 impl QnpNode {
@@ -153,6 +294,7 @@ impl QnpNode {
         QnpNode {
             node,
             circuits: HashMap::new(),
+            stats: NodeStats::default(),
         }
     }
 
@@ -177,26 +319,12 @@ impl QnpNode {
         match input {
             NetInput::InstallCircuit { entry } => {
                 let state = match entry.role() {
-                    Role::HeadEnd => CircuitState::Endpoint(EndpointState {
-                        is_head: true,
-                        requests: BTreeMap::new(),
-                        demux: SymmetricDemux::new(),
-                        in_transit: HashMap::new(),
-                        policer: Policer::new(entry.max_eer),
-                        link_submitted: false,
-                        discard_records: HashSet::new(),
-                        discard_order: VecDeque::new(),
-                    }),
-                    Role::TailEnd => CircuitState::Endpoint(EndpointState {
-                        is_head: false,
-                        requests: BTreeMap::new(),
-                        demux: SymmetricDemux::new(),
-                        in_transit: HashMap::new(),
-                        policer: Policer::new(entry.max_eer),
-                        link_submitted: false,
-                        discard_records: HashSet::new(),
-                        discard_order: VecDeque::new(),
-                    }),
+                    Role::HeadEnd => {
+                        CircuitState::Endpoint(EndpointState::new(true, entry.max_eer))
+                    }
+                    Role::TailEnd => {
+                        CircuitState::Endpoint(EndpointState::new(false, entry.max_eer))
+                    }
                     Role::Intermediate => CircuitState::Mid(MidState::default()),
                 };
                 self.circuits.insert(
@@ -242,7 +370,18 @@ impl QnpNode {
             NetInput::Message { from_upstream, msg } => {
                 let circuit = msg.circuit();
                 if let Some(c) = self.circuits.get_mut(&circuit.0) {
-                    crate::rules::dispatch_message(circuit, c, from_upstream, msg, &mut out);
+                    crate::rules::dispatch_message(
+                        circuit,
+                        c,
+                        from_upstream,
+                        msg,
+                        &mut out,
+                        &mut self.stats,
+                    );
+                } else {
+                    // A message for a circuit not installed here: torn
+                    // down, or the circuit id was corrupted in flight.
+                    self.stats.unknown_circuit += 1;
                 }
             }
             NetInput::SwapCompleted {
@@ -267,6 +406,21 @@ impl QnpNode {
                     crate::rules::endpoint::measure_completed(
                         circuit, c, correlator, outcome, &mut out,
                     );
+                }
+            }
+            NetInput::TrackTimeout {
+                circuit,
+                correlator,
+            } => {
+                if let Some(c) = self.circuits.get_mut(&circuit.0) {
+                    if matches!(c.state, CircuitState::Endpoint(_)) {
+                        crate::rules::endpoint::track_timeout(
+                            c,
+                            correlator,
+                            &mut out,
+                            &mut self.stats,
+                        );
+                    }
                 }
             }
             NetInput::CutoffExpired {

@@ -9,7 +9,7 @@
 use crate::events::{AppEvent, Delivery, DeliveryKind, NetOutput, PairInfo};
 use crate::ids::{Address, CircuitId, Correlator, Epoch, RequestId};
 use crate::messages::{Complete, Forward, Message, Track};
-use crate::node::{Circuit, CircuitState, EndpointState, InTransit, ReqState};
+use crate::node::{Circuit, CircuitState, EndpointState, InTransit, NodeStats, ReqState};
 use crate::policing::{link_weight, AdmitDecision};
 use crate::request::{RequestType, UserRequest};
 use crate::routing_table::{LinkSide, RoutingEntry};
@@ -308,12 +308,6 @@ pub(crate) fn link_rule(
         // with an EXPIRE instead of leaking the peer's assignment slot.
         out.push(NetOutput::DiscardPair { pair: info.pair });
         ep.discard_records.insert(info.pair.correlator);
-        ep.discard_order.push_back(info.pair.correlator);
-        while ep.discard_order.len() > 4096 {
-            if let Some(old) = ep.discard_order.pop_front() {
-                ep.discard_records.remove(&old);
-            }
-        }
         return;
     };
     let epoch = if is_head { ep.demux.latest() } else { Epoch(0) };
@@ -384,6 +378,7 @@ pub(crate) fn track_rule(
     c: &mut Circuit,
     track: Track,
     out: &mut Vec<NetOutput>,
+    stats: &mut NodeStats,
 ) {
     let entry = c.entry;
     let node = c.node;
@@ -408,6 +403,10 @@ pub(crate) fn track_rule(
                     origin: track.origin,
                 }),
             ));
+        } else {
+            // Neither in-transit nor discarded: a duplicated TRACK
+            // (already consumed) or a corrupted correlator. Absorb.
+            stats.stale_tracks += 1;
         }
         return;
     };
@@ -663,9 +662,12 @@ pub(crate) fn expire_rule(
     c: &mut Circuit,
     expire: crate::messages::Expire,
     out: &mut Vec<NetOutput>,
+    stats: &mut NodeStats,
 ) {
     let ep = ep(c);
     let Some(it) = ep.in_transit.remove(&expire.origin) else {
+        // Duplicated EXPIRE, or its pair already confirmed/timed out.
+        stats.stale_expires += 1;
         return;
     };
     // Return the assignment slot so the request can be served by a
@@ -683,11 +685,66 @@ pub(crate) fn expire_rule(
     }
 }
 
+/// Local track-timeout (faulty classical plane only): the pair's
+/// TRACK/EXPIRE never arrived, so free the qubit rather than hold it
+/// forever — the expiry/retransmission-safe analogue of the repeater
+/// cutoff for end-nodes, where the paper's no-timer rule assumes a
+/// reliable plane. A discard record is logged so a merely-late TRACK
+/// still converts into an EXPIRE towards the peer.
+pub(crate) fn track_timeout(
+    c: &mut Circuit,
+    correlator: Correlator,
+    out: &mut Vec<NetOutput>,
+    stats: &mut NodeStats,
+) {
+    let ep = ep(c);
+    // A pending TRACK means confirmation is imminent (only the local
+    // readout completion is outstanding): let it finish.
+    if ep
+        .in_transit
+        .get(&correlator)
+        .is_some_and(|it| it.pending_track.is_some())
+    {
+        return;
+    }
+    let Some(it) = ep.in_transit.remove(&correlator) else {
+        return; // already confirmed or expired — the common case
+    };
+    stats.expired_in_transit += 1;
+    if let Some(req) = ep.requests.get_mut(&it.request) {
+        req.assigned = req.assigned.saturating_sub(1);
+    }
+    if it.delivered_early {
+        out.push(NetOutput::Notify(AppEvent::EarlyPairExpired {
+            request: it.request,
+            pair: it.pair,
+        }));
+    } else {
+        out.push(NetOutput::DiscardPair { pair: it.pair });
+    }
+    ep.discard_records.insert(correlator);
+}
+
 /// FORWARD at the tail-end: learn the new request.
-pub(crate) fn on_forward(c: &mut Circuit, f: Forward, out: &mut Vec<NetOutput>) {
+pub(crate) fn on_forward(
+    c: &mut Circuit,
+    f: Forward,
+    out: &mut Vec<NetOutput>,
+    stats: &mut NodeStats,
+) {
     let _ = out;
     let ep = ep(c);
-    debug_assert!(!ep.is_head, "head-end should not receive FORWARD");
+    if ep.is_head {
+        // Only reachable through corruption (FORWARD travels head→tail).
+        stats.misrouted += 1;
+        return;
+    }
+    if ep.requests.contains_key(&f.request) {
+        // A duplicated FORWARD: re-registering would reset the request's
+        // delivery counters and fork a spurious epoch. Absorb it.
+        stats.duplicate_forwards += 1;
+        return;
+    }
     register_request(
         ep,
         f.request,
@@ -701,10 +758,27 @@ pub(crate) fn on_forward(c: &mut Circuit, f: Forward, out: &mut Vec<NetOutput>) 
 
 /// COMPLETE at the tail-end: retire the request from the demultiplexer
 /// (the request state is kept for TRACKs still in flight).
-pub(crate) fn on_complete(c: &mut Circuit, m: Complete, out: &mut Vec<NetOutput>) {
+pub(crate) fn on_complete(
+    c: &mut Circuit,
+    m: Complete,
+    out: &mut Vec<NetOutput>,
+    stats: &mut NodeStats,
+) {
     let _ = out;
     let ep = ep(c);
-    debug_assert!(!ep.is_head, "head-end should not receive COMPLETE");
+    if ep.is_head {
+        stats.misrouted += 1;
+        return;
+    }
+    if !ep.demux.in_latest(m.request) {
+        // Nothing to retire: either a duplicated COMPLETE (already
+        // removed) or a COMPLETE whose request this end never learned
+        // (its FORWARD was dropped, or the id was corrupted in flight).
+        // Removing anyway would fork a spurious epoch at this end only,
+        // desynchronising the two ends' demultiplexers.
+        stats.duplicate_completes += 1;
+        return;
+    }
     if let Some(req) = ep.requests.get_mut(&m.request) {
         req.completed = true;
     }

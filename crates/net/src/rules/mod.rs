@@ -14,28 +14,35 @@ pub mod repeater;
 use crate::events::{AppEvent, NetOutput};
 use crate::ids::CircuitId;
 use crate::messages::Message;
-use crate::node::{Circuit, CircuitState};
+use crate::node::{Circuit, CircuitState, NodeStats};
 
 /// Route an incoming message to the right rule for this node's role.
+///
+/// Every rule must *absorb* anomalous inputs — duplicates, stale
+/// references, role-inconsistent messages — rather than panic or corrupt
+/// state: on a faulty classical plane (drops, duplication, reordering,
+/// byte corruption) all of them occur. Absorbed anomalies are counted
+/// in [`NodeStats`].
 pub(crate) fn dispatch_message(
     circuit: CircuitId,
     c: &mut Circuit,
     from_upstream: bool,
     msg: Message,
     out: &mut Vec<NetOutput>,
+    stats: &mut NodeStats,
 ) {
     match (&mut c.state, msg) {
         (CircuitState::Endpoint(_), Message::Track(t)) => {
-            endpoint::track_rule(circuit, c, t, out);
+            endpoint::track_rule(circuit, c, t, out, stats);
         }
         (CircuitState::Endpoint(_), Message::Expire(e)) => {
-            endpoint::expire_rule(c, e, out);
+            endpoint::expire_rule(c, e, out, stats);
         }
         (CircuitState::Endpoint(_), Message::Forward(f)) => {
-            endpoint::on_forward(c, f, out);
+            endpoint::on_forward(c, f, out, stats);
         }
         (CircuitState::Endpoint(_), Message::Complete(m)) => {
-            endpoint::on_complete(c, m, out);
+            endpoint::on_complete(c, m, out, stats);
         }
         (CircuitState::Mid(_), Message::Track(t)) => {
             repeater::track_rule(c, from_upstream, t, out);
@@ -50,10 +57,10 @@ pub(crate) fn dispatch_message(
             }
         }
         (CircuitState::Mid(_), Message::Forward(f)) => {
-            repeater::on_forward(c, f, out);
+            repeater::on_forward(c, f, out, stats);
         }
         (CircuitState::Mid(_), Message::Complete(m)) => {
-            repeater::on_complete(c, m, out);
+            repeater::on_complete(c, m, out, stats);
         }
     }
 }

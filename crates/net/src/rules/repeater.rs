@@ -15,7 +15,7 @@
 use crate::events::{NetOutput, PairInfo};
 use crate::ids::{Correlator, PairHandle};
 use crate::messages::{Complete, Expire, Forward, Message, Track};
-use crate::node::{Circuit, CircuitState, MidState, PendingPair, SwapRecord};
+use crate::node::{Circuit, CircuitState, MidState, NodeStats, PendingPair, SwapRecord};
 use crate::policing::link_weight;
 use crate::routing_table::LinkSide;
 use qn_quantum::bell::BellState;
@@ -213,10 +213,26 @@ pub(crate) fn cutoff_expired(
 
 /// FORWARD at an intermediate node: manage the downstream link's
 /// generation and relay.
-pub(crate) fn on_forward(c: &mut Circuit, f: Forward, out: &mut Vec<NetOutput>) {
+///
+/// Duplicated FORWARDs (a faulty plane) are relayed — downstream nodes
+/// absorb their own copies — but must not be counted twice locally, or
+/// `active_requests` never returns to zero and the link generates
+/// forever after the circuit drains.
+pub(crate) fn on_forward(
+    c: &mut Circuit,
+    f: Forward,
+    out: &mut Vec<NetOutput>,
+    stats: &mut NodeStats,
+) {
     let entry = c.entry;
     let m = mid(c);
+    if m.counted_requests.contains(&f.request) || m.retired_requests.contains(&f.request) {
+        stats.duplicate_forwards += 1;
+        out.push(NetOutput::SendDownstream(Message::Forward(f)));
+        return;
+    }
     m.active_requests += 1;
+    m.counted_requests.insert(f.request);
     let down = entry
         .downstream
         .as_ref()
@@ -242,9 +258,22 @@ pub(crate) fn on_forward(c: &mut Circuit, f: Forward, out: &mut Vec<NetOutput>) 
 
 /// COMPLETE at an intermediate node: update or stop the downstream
 /// link's generation and relay.
-pub(crate) fn on_complete(c: &mut Circuit, msg: Complete, out: &mut Vec<NetOutput>) {
+pub(crate) fn on_complete(
+    c: &mut Circuit,
+    msg: Complete,
+    out: &mut Vec<NetOutput>,
+    stats: &mut NodeStats,
+) {
     let entry = c.entry;
     let m = mid(c);
+    if !m.counted_requests.remove(&msg.request) {
+        // Duplicated COMPLETE (or its FORWARD was dropped upstream):
+        // nothing to retire locally, but downstream still needs it.
+        stats.duplicate_completes += 1;
+        out.push(NetOutput::SendDownstream(Message::Complete(msg)));
+        return;
+    }
+    m.retired_requests.insert(msg.request);
     m.active_requests = m.active_requests.saturating_sub(1);
     let down = entry
         .downstream

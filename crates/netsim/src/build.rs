@@ -2,8 +2,10 @@
 //! scenarios, read metrics.
 
 use crate::app::AppHarness;
+use crate::classical::{ClassicalFaults, ClassicalStats};
 use crate::runtime::{Ev, NetworkModel, RuntimeConfig};
 use qn_net::ids::{CircuitId, RequestId};
+use qn_net::node::NodeStats;
 use qn_net::request::UserRequest;
 use qn_routing::budget::CutoffPolicy;
 use qn_routing::controller::{CircuitPlan, Controller, PlanError};
@@ -50,6 +52,23 @@ impl NetworkBuilder {
     /// delivers in order).
     pub fn message_jitter(mut self, d: SimDuration) -> Self {
         self.cfg.message_jitter = d;
+        self
+    }
+
+    /// Inject classical-plane faults: seeded drop / duplication /
+    /// reordering / byte corruption of the encoded signalling frames.
+    /// Default is [`ClassicalFaults::OFF`] — the reliable in-order
+    /// plane, bit-identical to a run without this call.
+    pub fn classical_faults(mut self, faults: ClassicalFaults) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Expire unconfirmed end-node pairs after `d` (faulty-plane
+    /// resilience: frees qubits whose TRACK/EXPIRE was lost). Off by
+    /// default; end-nodes never need timers on a reliable plane.
+    pub fn track_timeout(mut self, d: SimDuration) -> Self {
+        self.cfg.track_timeout = Some(d);
         self
     }
 
@@ -176,6 +195,20 @@ impl NetSim {
     /// failures, surplus generation).
     pub fn discarded_pairs(&self) -> u64 {
         self.sim.model().discarded_pairs
+    }
+
+    /// Classical-plane traffic counters: frames sent/delivered and the
+    /// faults injected (all fault counters zero on the default reliable
+    /// plane).
+    pub fn classical_stats(&self) -> ClassicalStats {
+        self.sim.model().classical_stats()
+    }
+
+    /// Protocol resilience counters aggregated over all nodes: the
+    /// anomalous inputs (duplicates, stale references, misroutes) the
+    /// QNP absorbed. All zero on the default reliable plane.
+    pub fn node_stats(&self) -> NodeStats {
+        self.sim.model().node_stats()
     }
 
     /// Number of live entangled pairs (diagnostics).

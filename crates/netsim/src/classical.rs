@@ -1,15 +1,24 @@
-//! Classical control-message channels.
+//! The classical control plane: delay models, the reliable in-order
+//! contract, and seeded fault injection.
 //!
 //! The paper (§4.1 "Classical communication and link reliability")
 //! requires that "all control messages are transmitted reliably and in
 //! order", provided in practice by per-hop TCP/QUIC connections. This
-//! module models that contract:
+//! module models that contract — and, behind [`ClassicalFaults`], its
+//! *violation*, so the protocol's behaviour on a degraded plane can be
+//! stress-tested (the robustness question early-network designs pose):
 //!
 //! * per-hop delay = fibre propagation + processing (+ the injectable
 //!   extra delay of Fig 10c, + optional jitter);
 //! * **in-order delivery per direction of each hop** even when jitter
 //!   would reorder packets — exactly what a reliable byte stream gives:
-//!   a delayed early message holds back later ones.
+//!   a delayed early message holds back later ones;
+//! * [`ClassicalPlane`]: every message travels as *encoded bytes*
+//!   (`qn_net::wire`) and can be dropped, duplicated, reordered or
+//!   bit-corrupted with seeded, per-run-deterministic probabilities.
+//!   With faults off ([`ClassicalFaults::OFF`], the default) the plane
+//!   is a bit-identical pass-through of the reliable contract: no extra
+//!   RNG draws, no extra latency, byte-equal payloads.
 
 use qn_sim::{NodeId, SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
@@ -76,6 +85,198 @@ impl ReliableDelivery {
     }
 }
 
+/// Fault-injection knobs for the classical plane. All probabilities are
+/// per message; the default ([`ClassicalFaults::OFF`]) disables every
+/// fault, making the plane a bit-identical pass-through.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassicalFaults {
+    /// Probability a message is silently lost.
+    pub drop: f64,
+    /// Probability a second, byte-identical copy is delivered (after an
+    /// extra `U[0, reorder_window)` of latency).
+    pub duplicate: f64,
+    /// Probability a message bypasses the in-order clamp and gains an
+    /// extra `U[0, reorder_window)` of latency — a datagram overtaken
+    /// by its successors.
+    pub reorder: f64,
+    /// Extra-latency bound for duplicated and reordered copies.
+    pub reorder_window: SimDuration,
+    /// Probability one uniformly-chosen bit of the encoded frame is
+    /// flipped. Corrupted frames may fail to decode (counted and
+    /// dropped at the receiver) or decode into a *different valid
+    /// message* the protocol must absorb.
+    pub corrupt: f64,
+}
+
+impl ClassicalFaults {
+    /// No faults: the reliable in-order plane of the paper.
+    pub const OFF: ClassicalFaults = ClassicalFaults {
+        drop: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+        reorder_window: SimDuration::ZERO,
+        corrupt: 0.0,
+    };
+
+    /// Whether any fault class is active.
+    pub fn enabled(&self) -> bool {
+        self.drop > 0.0 || self.duplicate > 0.0 || self.reorder > 0.0 || self.corrupt > 0.0
+    }
+
+    /// Check all probabilities are in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        for p in [self.drop, self.duplicate, self.reorder, self.corrupt] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err("fault probabilities must be within [0, 1]");
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ClassicalFaults {
+    fn default() -> Self {
+        ClassicalFaults::OFF
+    }
+}
+
+/// Counters describing what the classical plane did to the traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassicalStats {
+    /// Frames submitted for transmission.
+    pub sent: u64,
+    /// Delivery events scheduled (≥ sent − dropped; duplicates add).
+    pub delivered: u64,
+    /// Frames silently lost.
+    pub dropped: u64,
+    /// Extra copies delivered.
+    pub duplicated: u64,
+    /// Frames exempted from the in-order clamp.
+    pub reordered: u64,
+    /// Frames with a bit flipped.
+    pub corrupted: u64,
+    /// Delivered frames the receiver could not decode (dropped there;
+    /// incremented by the runtime, not by [`ClassicalPlane`]).
+    pub decode_failures: u64,
+    /// Total encoded payload bytes submitted.
+    pub wire_bytes: u64,
+}
+
+/// One scheduled delivery of an encoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireDelivery {
+    /// When the bytes arrive at the receiver.
+    pub at: SimTime,
+    /// The frame bytes (possibly corrupted).
+    pub bytes: Vec<u8>,
+}
+
+/// The classical plane: the reliable in-order transport plus optional
+/// seeded fault injection, operating on encoded frames.
+///
+/// Fault sampling uses its **own** RNG substream, so enabling faults
+/// never perturbs the latency/jitter draws — and the faults-off path
+/// makes *zero* fault draws, keeping default runs bit-identical to the
+/// plain reliable transport.
+pub struct ClassicalPlane {
+    transport: ReliableDelivery,
+    faults: ClassicalFaults,
+    rng_faults: SimRng,
+    /// Traffic counters.
+    pub stats: ClassicalStats,
+}
+
+impl ClassicalPlane {
+    /// A plane with the given fault config, drawing fault decisions from
+    /// the dedicated `"classical-faults"` substream of `seed`.
+    pub fn new(seed: u64, faults: ClassicalFaults) -> Self {
+        ClassicalPlane {
+            transport: ReliableDelivery::new(),
+            faults,
+            rng_faults: SimRng::substream(seed, "classical-faults"),
+            stats: ClassicalStats::default(),
+        }
+    }
+
+    /// The active fault config.
+    pub fn faults(&self) -> &ClassicalFaults {
+        &self.faults
+    }
+
+    /// Transmit one encoded frame `from → to` at `now` over `channel`,
+    /// sampling latency from `rng_latency` (the caller's message RNG, so
+    /// the draw sequence matches the pre-fault-plane runtime exactly).
+    /// Returns the scheduled deliveries: one on the reliable plane; zero
+    /// (drop) up to two (duplicate) under faults.
+    pub fn transmit(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        now: SimTime,
+        channel: &ChannelModel,
+        rng_latency: &mut SimRng,
+        bytes: Vec<u8>,
+    ) -> Vec<WireDelivery> {
+        self.stats.sent += 1;
+        self.stats.wire_bytes += bytes.len() as u64;
+        let latency = channel.sample_latency(rng_latency);
+        if !self.faults.enabled() {
+            // Pass-through: identical draws, clamping and timing as the
+            // plain reliable transport.
+            let at = self.transport.schedule(from, to, now, latency);
+            self.stats.delivered += 1;
+            return vec![WireDelivery { at, bytes }];
+        }
+
+        // Fault draws in a fixed order (drop, corrupt, reorder,
+        // duplicate) so a run is a pure function of (seed, config).
+        if self.faults.drop > 0.0 && self.rng_faults.bernoulli(self.faults.drop) {
+            self.stats.dropped += 1;
+            return Vec::new();
+        }
+        let mut bytes = bytes;
+        if self.faults.corrupt > 0.0 && self.rng_faults.bernoulli(self.faults.corrupt) {
+            if !bytes.is_empty() {
+                let bit = self.rng_faults.below(bytes.len() as u64 * 8);
+                bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+                self.stats.corrupted += 1;
+            }
+        }
+        let reordered = self.faults.reorder > 0.0 && self.rng_faults.bernoulli(self.faults.reorder);
+        let primary_at = if reordered {
+            // A datagram that escaped the stream: it neither respects
+            // nor advances the in-order clamp, and gains extra latency
+            // so later sends can overtake it.
+            self.stats.reordered += 1;
+            now + latency + self.extra_delay()
+        } else {
+            self.transport.schedule(from, to, now, latency)
+        };
+        let mut out = vec![WireDelivery {
+            at: primary_at,
+            bytes: bytes.clone(),
+        }];
+        if self.faults.duplicate > 0.0 && self.rng_faults.bernoulli(self.faults.duplicate) {
+            self.stats.duplicated += 1;
+            out.push(WireDelivery {
+                at: primary_at + self.extra_delay(),
+                bytes,
+            });
+        }
+        self.stats.delivered += out.len() as u64;
+        out
+    }
+
+    fn extra_delay(&mut self) -> SimDuration {
+        let window = self.faults.reorder_window.as_ps();
+        if window == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_ps(self.rng_faults.below(window))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +336,109 @@ mod tests {
         // A different hop is not held back.
         let other = r.schedule(b, c, SimTime::ZERO, SimDuration::from_micros(1));
         assert!(other < slow);
+    }
+
+    #[test]
+    fn faults_off_is_a_pass_through() {
+        // Same seed, same channel: the plane with faults off must
+        // schedule byte-identical deliveries at identical times to the
+        // bare ReliableDelivery, from the same latency RNG stream.
+        let m = model(50);
+        let (a, b) = (NodeId(0), NodeId(1));
+        let mut bare = ReliableDelivery::new();
+        let mut bare_rng = SimRng::from_seed(9);
+        let mut plane = ClassicalPlane::new(123, ClassicalFaults::OFF);
+        let mut plane_rng = SimRng::from_seed(9);
+        for i in 0..200u64 {
+            let now = SimTime::from_ps(i * 1000);
+            let expect = bare.schedule(a, b, now, m.sample_latency(&mut bare_rng));
+            let got = plane.transmit(a, b, now, &m, &mut plane_rng, vec![i as u8]);
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].at, expect);
+            assert_eq!(got[0].bytes, vec![i as u8]);
+        }
+        assert_eq!(plane.stats.sent, 200);
+        assert_eq!(plane.stats.delivered, 200);
+        assert_eq!(plane.stats.dropped + plane.stats.corrupted, 0);
+    }
+
+    #[test]
+    fn faults_are_seed_deterministic() {
+        let faults = ClassicalFaults {
+            drop: 0.2,
+            duplicate: 0.2,
+            reorder: 0.3,
+            reorder_window: SimDuration::from_micros(80),
+            corrupt: 0.2,
+        };
+        let run = |seed: u64| {
+            let m = model(0);
+            let mut plane = ClassicalPlane::new(seed, faults);
+            let mut rng = SimRng::from_seed(5);
+            let mut log = Vec::new();
+            for i in 0..300u64 {
+                let now = SimTime::from_ps(i * 777);
+                let out = plane.transmit(
+                    NodeId(0),
+                    NodeId(1),
+                    now,
+                    &m,
+                    &mut rng,
+                    vec![i as u8, (i >> 8) as u8, 0xAB],
+                );
+                log.push(out);
+            }
+            (log, plane.stats)
+        };
+        let (l1, s1) = run(42);
+        let (l2, s2) = run(42);
+        assert_eq!(l1, l2);
+        assert_eq!(s1, s2);
+        let (l3, _) = run(43);
+        assert_ne!(l1, l3, "different seeds should fault differently");
+        assert!(s1.dropped > 0 && s1.duplicated > 0 && s1.corrupted > 0 && s1.reordered > 0);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let faults = ClassicalFaults {
+            corrupt: 1.0,
+            ..ClassicalFaults::OFF
+        };
+        let m = model(0);
+        let mut plane = ClassicalPlane::new(7, faults);
+        let mut rng = SimRng::from_seed(7);
+        let original = vec![0u8; 16];
+        for _ in 0..50 {
+            let out = plane.transmit(
+                NodeId(0),
+                NodeId(1),
+                SimTime::ZERO,
+                &m,
+                &mut rng,
+                original.clone(),
+            );
+            assert_eq!(out.len(), 1);
+            let flipped: u32 = out[0]
+                .bytes
+                .iter()
+                .zip(&original)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(flipped, 1);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        let mut f = ClassicalFaults::OFF;
+        assert!(f.validate().is_ok());
+        assert!(!f.enabled());
+        f.drop = 1.5;
+        assert!(f.validate().is_err());
+        f.drop = 0.5;
+        assert!(f.validate().is_ok());
+        assert!(f.enabled());
     }
 
     #[test]

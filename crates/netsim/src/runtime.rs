@@ -18,7 +18,7 @@
 //! * application accounting — the [`AppHarness`] with oracle annotations.
 
 use crate::app::{AppHarness, DeliveryRecord, Payload};
-use crate::classical::{ChannelModel, ReliableDelivery};
+use crate::classical::{ChannelModel, ClassicalFaults, ClassicalPlane, ClassicalStats};
 use qn_hardware::device::{QDevice, QubitId};
 use qn_hardware::heralding::LinkPhysics;
 use qn_hardware::pairs::{PairId, PairStore, SwapNoise};
@@ -26,6 +26,7 @@ use qn_link::{LinkEvent, LinkLabel, LinkProtocol, LinkRequest, PairDemand};
 use qn_net::events::{AppEvent, DeliveryKind, NetInput, NetOutput, PairInfo};
 use qn_net::ids::{CircuitId, Correlator, PairHandle, PairRef, RequestId};
 use qn_net::messages::Message;
+use qn_net::node::NodeStats;
 use qn_net::request::UserRequest;
 use qn_net::routing_table::LinkSide;
 use qn_net::QnpNode;
@@ -50,6 +51,15 @@ pub struct RuntimeConfig {
     /// Uniform per-message jitter bound (the reliable transport still
     /// delivers in order).
     pub message_jitter: SimDuration,
+    /// Classical-plane fault injection (default off: the reliable
+    /// in-order plane of the paper, bit-identical to the pre-fault
+    /// runtime).
+    pub faults: ClassicalFaults,
+    /// Expire unconfirmed in-transit pairs at end-nodes after this long
+    /// (default `None`). Only useful on a faulty plane, where a chain's
+    /// TRACK/EXPIRE can be lost — on a reliable plane end-nodes never
+    /// need timers (§4.1 "Cutoff time").
+    pub track_timeout: Option<SimDuration>,
     /// Communication qubits dedicated to each link at each node
     /// (Appendix B: two in the main simulations).
     pub comm_per_link: usize,
@@ -70,6 +80,8 @@ impl Default for RuntimeConfig {
             processing_delay: SimDuration::from_micros(5),
             extra_message_delay: SimDuration::ZERO,
             message_jitter: SimDuration::ZERO,
+            faults: ClassicalFaults::OFF,
+            track_timeout: None,
             comm_per_link: 2,
             near_term: false,
             carbons: 0,
@@ -81,14 +93,27 @@ impl Default for RuntimeConfig {
 
 /// The event alphabet of the network model.
 pub enum Ev {
-    /// A classical message arrives at a node.
+    /// An encoded classical frame arrives at a node. The receiver
+    /// decodes it (`qn_net::wire`); frames that fail to decode are
+    /// counted and dropped — the bytes, not the structs, are the
+    /// interface.
     MsgDeliver {
         /// Receiving node.
         to: NodeId,
         /// Whether the sender is the receiver's upstream neighbour.
         from_upstream: bool,
-        /// The message.
-        msg: Message,
+        /// The encoded frame (possibly corrupted in flight).
+        wire: Vec<u8>,
+    },
+    /// A track-timeout armed for an unconfirmed end-node pair fired
+    /// (faulty-plane resilience; never armed by default).
+    TrackExpiry {
+        /// The end-node holding the pair.
+        node: NodeId,
+        /// The pair's circuit.
+        circuit: CircuitId,
+        /// The pair's correlator.
+        correlator: Correlator,
     },
     /// A link generation process heralds success.
     GenDone {
@@ -234,7 +259,7 @@ pub struct NetworkModel {
     rng_links: Vec<SimRng>,
     rng_nodes: Vec<SimRng>,
     rng_msgs: SimRng,
-    transport: ReliableDelivery,
+    plane: ClassicalPlane,
     /// Diagnostics: protocol-vs-omniscient state mismatches observed.
     pub state_mismatches: u64,
     /// Diagnostics: pairs released before use.
@@ -244,6 +269,9 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// Build the model over a topology with the given seed and config.
     pub fn new(topology: Topology, seed: u64, cfg: RuntimeConfig) -> Self {
+        cfg.faults
+            .validate()
+            .expect("classical fault probabilities");
         let node_ids = topology.nodes();
         let n_nodes = node_ids.len();
         assert_eq!(
@@ -300,14 +328,28 @@ impl NetworkModel {
             } else {
                 Trace::disabled()
             },
-            cfg,
             rng_links,
             rng_nodes,
             rng_msgs: SimRng::substream(seed, "messages"),
-            transport: ReliableDelivery::new(),
+            plane: ClassicalPlane::new(seed, cfg.faults),
+            cfg,
             state_mismatches: 0,
             discarded_pairs: 0,
         }
+    }
+
+    /// Classical-plane traffic counters.
+    pub fn classical_stats(&self) -> ClassicalStats {
+        self.plane.stats
+    }
+
+    /// Protocol resilience counters, aggregated over all nodes.
+    pub fn node_stats(&self) -> NodeStats {
+        let mut total = NodeStats::default();
+        for n in &self.nodes {
+            total.merge(&n.qnp.stats);
+        }
+        total
     }
 
     /// Install a circuit (signalling action): registers labels, feeds the
@@ -341,9 +383,18 @@ impl NetworkModel {
             if self.cfg.disable_cutoff {
                 entry.cutoff = SimDuration::MAX;
             }
+            // The signalling plane is byte-accurate too: each per-node
+            // INSTALL round-trips through the wire codec, so the entry
+            // the node installs is the one that survives encoding.
+            let frame = qn_routing::wire::SignalMessage::Install { entry }.wire_bytes();
+            let decoded = match qn_routing::wire::SignalMessage::decode(&frame) {
+                Ok(qn_routing::wire::SignalMessage::Install { entry }) => entry,
+                other => unreachable!("INSTALL frame must round-trip, got {other:?}"),
+            };
+            debug_assert_eq!(decoded, entry);
             let outs = self.nodes[node.0 as usize]
                 .qnp
-                .handle(NetInput::InstallCircuit { entry });
+                .handle(NetInput::InstallCircuit { entry: decoded });
             debug_assert!(outs.is_empty());
         }
     }
@@ -397,9 +448,6 @@ impl NetworkModel {
             extra: self.cfg.extra_message_delay,
             jitter: self.cfg.message_jitter,
         };
-        let latency = channel.sample_latency(&mut self.rng_msgs);
-        // Reliable in-order transport: a directed hop never reorders.
-        let at = self.transport.schedule(from, to, ctx.now(), latency);
         self.trace.record(
             ctx.now(),
             TraceKind::Message,
@@ -410,14 +458,24 @@ impl NetworkModel {
                 if downstream { "down" } else { "up" }
             ),
         );
-        ctx.schedule_at(
-            at,
-            Ev::MsgDeliver {
-                to,
-                from_upstream: downstream,
-                msg,
-            },
-        );
+        // The message crosses the hop as encoded bytes: the classical
+        // plane transports (and may drop/duplicate/reorder/corrupt)
+        // frames, never Rust values. Default config is a bit-identical
+        // pass-through of the reliable in-order transport.
+        let wire = msg.wire_bytes();
+        let deliveries =
+            self.plane
+                .transmit(from, to, ctx.now(), &channel, &mut self.rng_msgs, wire);
+        for d in deliveries {
+            ctx.schedule_at(
+                d.at,
+                Ev::MsgDeliver {
+                    to,
+                    from_upstream: downstream,
+                    wire: d.bytes,
+                },
+            );
+        }
     }
 
     /// Free one end of a pair at a node: release the memory slot, drop
@@ -513,6 +571,18 @@ impl NetworkModel {
         let (pair, events) = l
             .proto
             .on_generation_complete(announced, inflight.attempts, elapsed);
+        // The link layer announces the pair to the nodes over classical
+        // signalling; that announcement is byte-accurate too — the
+        // PAIR_READY frame round-trips through the wire codec and the
+        // *decoded* pair is what the stack proceeds with.
+        let pair = {
+            let mut frame = Vec::with_capacity(64);
+            qn_net::wire::encode_link_event(&LinkEvent::PairReady(pair), &mut frame);
+            match qn_net::wire::decode_link_event(&frame) {
+                Ok(LinkEvent::PairReady(p)) => p,
+                other => unreachable!("PAIR_READY frame must round-trip, got {other:?}"),
+            }
+        };
         let state = l
             .physics
             .heralded_pair(inflight.alpha, announced, self.pairs.rep());
@@ -625,6 +695,22 @@ impl NetworkModel {
                 info: pair_info,
             });
             self.process_outputs(ctx, node, circuit, outs);
+            // On a faulty plane an end-node's chain can lose its
+            // TRACK/EXPIRE forever; the optional track-timeout frees
+            // the qubit instead of holding it until the heat death of
+            // the run. Never armed by default.
+            if let Some(timeout) = self.cfg.track_timeout {
+                if !is_intermediate {
+                    ctx.schedule_in(
+                        timeout,
+                        Ev::TrackExpiry {
+                            node,
+                            circuit,
+                            correlator,
+                        },
+                    );
+                }
+            }
         }
 
         // The link may start its next generation immediately (if qubits
@@ -984,6 +1070,13 @@ impl NetworkModel {
             return;
         };
         let path = rt.path.clone();
+        // Byte-accurate signalling: the per-node TEARDOWN round-trips
+        // through the wire codec like every other signalling message.
+        let frame = qn_routing::wire::SignalMessage::Teardown { circuit }.wire_bytes();
+        let circuit = match qn_routing::wire::SignalMessage::decode(&frame) {
+            Ok(qn_routing::wire::SignalMessage::Teardown { circuit }) => circuit,
+            other => unreachable!("TEARDOWN frame must round-trip, got {other:?}"),
+        };
         for node in path {
             let outs = self.nodes[node.0 as usize]
                 .qnp
@@ -1059,13 +1152,43 @@ impl Model for NetworkModel {
             Ev::MsgDeliver {
                 to,
                 from_upstream,
-                msg,
+                wire,
             } => {
+                // Decode at the receiver: a frame corrupted in flight
+                // may fail here (counted, dropped — the message is
+                // simply lost) or decode into a different valid message
+                // the protocol rules must absorb.
+                let msg = match Message::decode(&wire) {
+                    Ok(msg) => msg,
+                    Err(err) => {
+                        self.plane.stats.decode_failures += 1;
+                        self.trace.record(
+                            now,
+                            TraceKind::Info,
+                            format!("{to}"),
+                            format!("undecodable frame dropped: {err}"),
+                        );
+                        return;
+                    }
+                };
                 let circuit = msg.circuit();
                 let outs = self.nodes[to.0 as usize]
                     .qnp
                     .handle(NetInput::Message { from_upstream, msg });
                 self.process_outputs(ctx, to, circuit, outs);
+            }
+            Ev::TrackExpiry {
+                node,
+                circuit,
+                correlator,
+            } => {
+                let outs = self.nodes[node.0 as usize]
+                    .qnp
+                    .handle(NetInput::TrackTimeout {
+                        circuit,
+                        correlator,
+                    });
+                self.process_outputs(ctx, node, circuit, outs);
             }
             Ev::GenDone { link } => self.gen_done(ctx, link),
             Ev::SwapDone {

@@ -1,12 +1,16 @@
-//! Resilience scenarios: circuit teardown mid-flight and message jitter
-//! — the paper's §4.1 "Classical communication and link reliability"
-//! behaviours.
+//! Resilience scenarios: circuit teardown mid-flight, message jitter,
+//! and the faulty classical plane — the paper's §4.1 "Classical
+//! communication and link reliability" behaviours, plus what happens
+//! when that reliability assumption is *broken* (drop / duplication /
+//! reordering / corruption sweeps on chain and widened-dumbbell
+//! topologies).
 
 use qn_hardware::params::{FibreParams, HardwareParams};
 use qn_net::{Address, AppEvent, Demand, RequestId, RequestType, UserRequest};
-use qn_netsim::build::NetworkBuilder;
-use qn_routing::{dumbbell, CutoffPolicy};
-use qn_sim::{SimDuration, SimTime};
+use qn_netsim::build::{NetSim, NetworkBuilder};
+use qn_netsim::ClassicalFaults;
+use qn_routing::{chain, dumbbell, wide_dumbbell, CutoffPolicy};
+use qn_sim::{NodeId, SimDuration, SimTime};
 
 fn keep(id: u64, head: qn_sim::NodeId, tail: qn_sim::NodeId, f: f64, n: u64) -> UserRequest {
     UserRequest {
@@ -109,6 +113,262 @@ fn jitter_does_not_break_the_protocol() {
     assert!(f > 0.8, "jittered run fidelity {f}");
     sim.run_until(sim.now() + SimDuration::from_secs(5));
     assert_eq!(sim.live_pairs(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Faulty classical plane
+// ---------------------------------------------------------------------
+
+/// A delivery trajectory fingerprint: (time ps, node, request, sequence)
+/// per delivery, in order — byte-for-byte comparable across runs.
+fn trajectory(sim: &NetSim) -> Vec<(u64, u32, u64, u64)> {
+    sim.app()
+        .deliveries
+        .iter()
+        .map(|d| (d.time.as_ps(), d.node.0, d.request.0, d.sequence))
+        .collect()
+}
+
+fn chain_run(seed: u64, faults: Option<ClassicalFaults>, n: u64) -> NetSim {
+    let topology = chain(4, HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut b = NetworkBuilder::new(topology).seed(seed);
+    if let Some(f) = faults {
+        b = b
+            .classical_faults(f)
+            .track_timeout(SimDuration::from_secs(2));
+    }
+    let mut sim = b.build();
+    let (head, tail) = (NodeId(0), NodeId(3));
+    let vc = sim
+        .open_circuit(head, tail, 0.8, CutoffPolicy::short())
+        .unwrap();
+    sim.submit_at(SimTime::ZERO, vc, keep(1, head, tail, 0.8, n));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(45));
+    sim
+}
+
+#[test]
+fn faults_off_reproduces_the_fault_free_trajectory_bit_identically() {
+    // Plumbing an explicit all-zero fault config (and no track timeout)
+    // must not perturb a single RNG draw or delivery time relative to
+    // the default build.
+    let base = chain_run(4242, None, 6);
+    let topology = chain(4, HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology)
+        .seed(4242)
+        .classical_faults(ClassicalFaults::OFF)
+        .build();
+    let vc = sim
+        .open_circuit(NodeId(0), NodeId(3), 0.8, CutoffPolicy::short())
+        .unwrap();
+    sim.submit_at(SimTime::ZERO, vc, keep(1, NodeId(0), NodeId(3), 0.8, 6));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(45));
+
+    assert_eq!(trajectory(&base), trajectory(&sim));
+    assert_eq!(base.events_processed(), sim.events_processed());
+    let (s1, s2) = (base.classical_stats(), sim.classical_stats());
+    assert_eq!(s1, s2);
+    assert_eq!(s1.dropped + s1.duplicated + s1.reordered + s1.corrupted, 0);
+    assert_eq!(s1.decode_failures, 0);
+    assert_eq!(
+        base.node_stats().total(),
+        0,
+        "no anomalies on a clean plane"
+    );
+}
+
+#[test]
+fn fault_sweep_on_chain_is_deterministic_and_survivable() {
+    let sweep = [
+        ClassicalFaults {
+            drop: 0.05,
+            ..ClassicalFaults::OFF
+        },
+        ClassicalFaults {
+            duplicate: 0.15,
+            reorder_window: SimDuration::from_millis(1),
+            ..ClassicalFaults::OFF
+        },
+        ClassicalFaults {
+            reorder: 0.25,
+            reorder_window: SimDuration::from_millis(2),
+            ..ClassicalFaults::OFF
+        },
+        ClassicalFaults {
+            drop: 0.05,
+            duplicate: 0.1,
+            reorder: 0.15,
+            reorder_window: SimDuration::from_millis(1),
+            corrupt: 0.05,
+        },
+    ];
+    for (i, faults) in sweep.iter().enumerate() {
+        let seed = 9000 + i as u64;
+        let a = chain_run(seed, Some(*faults), 8);
+        let b = chain_run(seed, Some(*faults), 8);
+        // Determinism per seed: identical trajectories, stats, counters.
+        assert_eq!(trajectory(&a), trajectory(&b), "faults[{i}] diverged");
+        assert_eq!(a.classical_stats(), b.classical_stats());
+        assert_eq!(a.node_stats(), b.node_stats());
+        assert_eq!(a.events_processed(), b.events_processed());
+        // The run survived: no panic, no leaked quantum memory beyond
+        // what in-flight chains legitimately hold, and the fault
+        // classes actually fired.
+        let s = a.classical_stats();
+        if faults.drop > 0.0 {
+            assert!(s.dropped > 0, "faults[{i}]: no drops sampled");
+        }
+        if faults.duplicate > 0.0 {
+            assert!(s.duplicated > 0, "faults[{i}]: no duplicates sampled");
+        }
+        if faults.reorder > 0.0 {
+            assert!(s.reordered > 0, "faults[{i}]: no reorders sampled");
+        }
+        if faults.corrupt > 0.0 {
+            assert!(s.corrupted > 0, "faults[{i}]: no corruption sampled");
+        }
+    }
+}
+
+#[test]
+fn drop_faults_still_deliver_with_track_timeout_reclaiming_qubits() {
+    // 5% per-hop drops on a 4-chain: progress must continue because the
+    // track-timeout reclaims end-node qubits whose TRACK was lost.
+    let sim = chain_run(
+        77,
+        Some(ClassicalFaults {
+            drop: 0.05,
+            ..ClassicalFaults::OFF
+        }),
+        8,
+    );
+    let delivered = sim.app().confirmed_deliveries(
+        qn_net::CircuitId(1),
+        NodeId(0),
+        SimTime::ZERO,
+        SimTime::MAX,
+    );
+    assert!(
+        delivered >= 4,
+        "only {delivered}/8 confirmed under 5% drops"
+    );
+    let stats = sim.classical_stats();
+    assert!(stats.dropped > 0);
+    // The protocol absorbed the fallout without leaking: anomaly
+    // counters account for the losses.
+    let ns = sim.node_stats();
+    assert!(
+        ns.expired_in_transit > 0 || ns.stale_tracks > 0 || ns.stale_expires > 0,
+        "drops should surface as absorbed anomalies: {ns:?}"
+    );
+}
+
+#[test]
+fn corruption_is_counted_and_absorbed() {
+    // Heavy corruption: some frames fail to decode (counted + dropped),
+    // some decode into different valid messages the rules must absorb;
+    // the run must neither panic nor wedge the other circuit's traffic.
+    // A flipped bit lands in an integer payload most of the time (the
+    // message still decodes, just with different content), so
+    // undecodable frames are a minority: accumulate over seeds until
+    // both outcomes have been observed.
+    let mut corrupted = 0;
+    let mut failures = 0;
+    for seed in 550..560 {
+        let sim = chain_run(
+            seed,
+            Some(ClassicalFaults {
+                corrupt: 0.5,
+                ..ClassicalFaults::OFF
+            }),
+            6,
+        );
+        let s = sim.classical_stats();
+        assert!(s.decode_failures <= s.corrupted);
+        corrupted += s.corrupted;
+        failures += s.decode_failures;
+    }
+    assert!(
+        corrupted > 100,
+        "too little corruption sampled: {corrupted}"
+    );
+    assert!(
+        failures > 0,
+        "bit flips should produce at least one undecodable frame ({corrupted} corrupted)"
+    );
+    assert!(failures < corrupted, "most single-bit flips still decode");
+}
+
+#[test]
+fn fault_sweep_on_wide_dumbbell_is_deterministic_per_seed() {
+    let faults = ClassicalFaults {
+        drop: 0.03,
+        duplicate: 0.08,
+        reorder: 0.1,
+        reorder_window: SimDuration::from_millis(1),
+        corrupt: 0.03,
+    };
+    let run = |seed: u64| {
+        let (topology, d) = wide_dumbbell(3, HardwareParams::simulation(), FibreParams::lab_2m());
+        let mut sim = NetworkBuilder::new(topology)
+            .seed(seed)
+            .classical_faults(faults)
+            .track_timeout(SimDuration::from_secs(2))
+            .build();
+        let mut vcs = Vec::new();
+        for (i, (a, b)) in d.straight_pairs().into_iter().enumerate() {
+            let vc = sim.open_circuit(a, b, 0.8, CutoffPolicy::short()).unwrap();
+            sim.submit_at(SimTime::ZERO, vc, keep(i as u64 + 1, a, b, 0.8, 4));
+            vcs.push(vc);
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(45));
+        sim
+    };
+    for seed in [31, 32] {
+        let a = run(seed);
+        let b = run(seed);
+        assert_eq!(trajectory(&a), trajectory(&b), "seed {seed} diverged");
+        assert_eq!(a.classical_stats(), b.classical_stats());
+        assert_eq!(a.node_stats(), b.node_stats());
+        // All three circuits make progress despite the shared faulty
+        // bottleneck.
+        let total: u64 = a.app().deliveries.len() as u64;
+        assert!(total > 0, "seed {seed}: nothing delivered at all");
+    }
+    // Different seeds sample different fault patterns.
+    assert_ne!(trajectory(&run(31)), trajectory(&run(32)));
+}
+
+#[test]
+fn duplication_storm_does_not_double_deliver() {
+    // 60% duplication: every confirmation may arrive twice. Bounded
+    // requests must still deliver exactly n pairs per end, never more
+    // (duplicate TRACK/COMPLETE absorption).
+    let sim = chain_run(
+        808,
+        Some(ClassicalFaults {
+            duplicate: 0.6,
+            reorder_window: SimDuration::from_millis(1),
+            ..ClassicalFaults::OFF
+        }),
+        5,
+    );
+    let s = sim.classical_stats();
+    assert!(s.duplicated > 0);
+    for node in [NodeId(0), NodeId(3)] {
+        let confirmed =
+            sim.app()
+                .confirmed_deliveries(qn_net::CircuitId(1), node, SimTime::ZERO, SimTime::MAX);
+        assert!(
+            confirmed <= 5,
+            "{node}: {confirmed} > 5 confirmed deliveries under duplication"
+        );
+    }
+    let ns = sim.node_stats();
+    assert!(
+        ns.duplicate_forwards + ns.duplicate_completes + ns.stale_tracks + ns.stale_expires > 0,
+        "duplication should surface as absorbed anomalies: {ns:?}"
+    );
 }
 
 #[test]

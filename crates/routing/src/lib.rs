@@ -13,7 +13,9 @@
 //! * [`signalling`] — source-routed circuit installation: MPLS-style
 //!   link-label allocation and the per-node routing entries of §4.1;
 //! * [`topology`] — the network graph, including the paper's Fig 7
-//!   dumbbell and linear-chain presets.
+//!   dumbbell and linear-chain presets;
+//! * [`wire`] — the byte-level encoding of the install/teardown
+//!   signalling messages (shared registry with [`qn_net::wire`]).
 
 #![warn(missing_docs)]
 
@@ -21,6 +23,7 @@ pub mod budget;
 pub mod controller;
 pub mod signalling;
 pub mod topology;
+pub mod wire;
 
 pub use budget::CutoffPolicy;
 pub use controller::{CircuitPlan, Controller, PlanError};
@@ -28,3 +31,4 @@ pub use signalling::{InstalledCircuit, Signaller};
 pub use topology::{
     chain, dumbbell, ring, wide_dumbbell, Dumbbell, LinkSpec, Topology, WideDumbbell,
 };
+pub use wire::SignalMessage;
