@@ -1,8 +1,11 @@
 //! Criterion micro-benchmarks of the core data structures: the event
 //! queue, the density-matrix operations behind every entanglement swap,
 //! the heralded-state construction, the link scheduler, the Bell
-//! tracking algebra, and the quantum kernel's two pair-state
-//! representations side by side (`*_bell` vs `*_dm`).
+//! tracking algebra, the quantum kernel's two pair-state
+//! representations side by side (`*_bell` vs `*_dm`), and the classical
+//! plane's wire codec and delivery paths (`message_parse`,
+//! `zero_copy_vs_owned_decode/*`, `encode_scratch_vs_alloc/*`,
+//! `batch_vs_single_delivery/*`).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use qn_hardware::device::QubitId;
@@ -11,6 +14,11 @@ use qn_hardware::pairs::{PairStore, SwapNoise};
 use qn_hardware::params::{FibreParams, HardwareParams};
 use qn_hardware::StateRep;
 use qn_link::{LinkLabel, TimeShareScheduler};
+use qn_net::wire::{batch_append, batch_begin, BatchView, ScratchEncoder};
+use qn_net::{
+    CircuitId, Complete, Correlator, Epoch, Expire, Forward, Message, MessageView, RequestId,
+    RequestType, Track,
+};
 use qn_quantum::bell::BellState;
 use qn_quantum::gates::Pauli;
 use qn_quantum::measure::bell_measure_ideal;
@@ -176,6 +184,165 @@ fn bench_link_scheduler(c: &mut Criterion) {
     });
 }
 
+/// A representative mix of QNP data-plane messages: TRACKs dominate the
+/// wire in a running network (one per link-pair per hop), with FORWARD /
+/// COMPLETE / EXPIRE control traffic around them.
+fn message_mix() -> Vec<Message> {
+    let corr = |seq: u64| Correlator {
+        node_a: NodeId(3),
+        node_b: NodeId(4),
+        seq,
+    };
+    let mut msgs = Vec::new();
+    for i in 0..16u64 {
+        msgs.push(Message::Track(Track {
+            circuit: CircuitId(7),
+            request: RequestId(i % 3),
+            head_identifier: 0,
+            tail_identifier: 1,
+            origin: corr(i),
+            link: corr(i + 100),
+            outcome_state: BellState::from_index((i % 4) as usize),
+            epoch: if i % 2 == 0 { Some(Epoch(i)) } else { None },
+        }));
+    }
+    msgs.push(Message::Forward(Forward {
+        circuit: CircuitId(7),
+        request: RequestId(2),
+        head_identifier: 0,
+        tail_identifier: 1,
+        request_type: RequestType::Keep,
+        number_of_pairs: Some(8),
+        final_state: Some(BellState::PHI_PLUS),
+        rate: 125.0,
+    }));
+    msgs.push(Message::Complete(Complete {
+        circuit: CircuitId(7),
+        request: RequestId(2),
+        head_identifier: 0,
+        tail_identifier: 1,
+        rate: 0.0,
+    }));
+    msgs.push(Message::Expire(Expire {
+        circuit: CircuitId(7),
+        origin: corr(9),
+    }));
+    msgs
+}
+
+/// The wire codec under the delivery-path access pattern: full owned
+/// decode vs the borrowing view (parse + the fields the runtime's batch
+/// drain actually touches before deciding to materialise).
+fn bench_message_codec(c: &mut Criterion) {
+    let msgs = message_mix();
+    let frames: Vec<Vec<u8>> = msgs.iter().map(Message::wire_bytes).collect();
+
+    c.bench_function("message_parse", |b| {
+        // Full view parse plus the per-variant fields a dispatcher would
+        // read (TRACK's continuation correlator) — still borrow-only.
+        b.iter(|| {
+            let mut acc = 0u64;
+            for f in &frames {
+                let v = MessageView::parse(f).unwrap();
+                acc = acc.wrapping_add(v.circuit().0);
+                if let MessageView::Track(t) = v {
+                    acc = acc.wrapping_add(t.link().seq);
+                }
+            }
+            acc
+        });
+    });
+
+    c.bench_function("zero_copy_vs_owned_decode/owned", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for f in &frames {
+                let m = Message::decode(f).unwrap();
+                acc = acc.wrapping_add(m.circuit().0);
+            }
+            acc
+        });
+    });
+
+    c.bench_function("zero_copy_vs_owned_decode/view", |b| {
+        // The zero-copy access pattern: validate the whole frame, read
+        // only the demux key, materialise nothing.
+        b.iter(|| {
+            let mut acc = 0u64;
+            for f in &frames {
+                let v = MessageView::parse(f).unwrap();
+                acc = acc.wrapping_add(v.circuit().0);
+            }
+            acc
+        });
+    });
+
+    c.bench_function("encode_scratch_vs_alloc/alloc", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for m in &msgs {
+                bytes += m.wire_bytes().len();
+            }
+            bytes
+        });
+    });
+
+    c.bench_function("encode_scratch_vs_alloc/scratch", |b| {
+        let mut scratch = ScratchEncoder::new();
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for m in &msgs {
+                bytes += scratch.message(m).len();
+            }
+            bytes
+        });
+    });
+}
+
+/// Frame delivery through the event loop: one event + one owned frame
+/// per message (the pre-batching plane) vs one event per coalesced
+/// batch drained through the borrowing view. Both paths end at the same
+/// place — an owned `Message` handed to the protocol node.
+fn bench_frame_delivery(c: &mut Criterion) {
+    let frames: Vec<Vec<u8>> = message_mix().iter().map(Message::wire_bytes).collect();
+    let mut batch = Vec::new();
+    batch_begin(&mut batch);
+    for f in &frames {
+        batch_append(&mut batch, f);
+    }
+
+    c.bench_function("batch_vs_single_delivery/single", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<Vec<u8>> = EventQueue::new();
+            for (i, f) in frames.iter().enumerate() {
+                q.push(SimTime::from_ps(i as u64), f.clone());
+            }
+            let mut acc = 0u64;
+            while let Some((_, f)) = q.pop() {
+                let m = Message::decode(&f).unwrap();
+                acc = acc.wrapping_add(m.circuit().0);
+            }
+            acc
+        });
+    });
+
+    c.bench_function("batch_vs_single_delivery/batched", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<&[u8]> = EventQueue::new();
+            q.push(SimTime::ZERO, batch.as_slice());
+            let mut acc = 0u64;
+            while let Some((_, buf)) = q.pop() {
+                let view = BatchView::parse(buf).unwrap();
+                for f in view.frames() {
+                    let m = MessageView::parse(f).unwrap().to_message();
+                    acc = acc.wrapping_add(m.circuit().0);
+                }
+            }
+            acc
+        });
+    });
+}
+
 fn bench_bell_algebra(c: &mut Criterion) {
     c.bench_function("bell_combine_chain_64", |b| {
         let states: Vec<BellState> = (0..64).map(|i| BellState::from_index(i % 4)).collect();
@@ -195,6 +362,8 @@ criterion_group!(
     bench_density_matrix,
     bench_pair_representations,
     bench_link_scheduler,
+    bench_message_codec,
+    bench_frame_delivery,
     bench_bell_algebra
 );
 criterion_main!(benches);

@@ -271,25 +271,40 @@ impl PairStore {
     /// Advance decoherence on both ends to `now`.
     pub fn advance(&mut self, id: PairId, now: SimTime) {
         let pair = self.pairs.get_mut(&id.0).expect("advance on dead pair");
-        for (idx, end) in pair.ends.iter_mut().enumerate() {
-            if end.measured {
-                end.last_noise = now;
-                continue;
-            }
-            let dt = now.since(end.last_noise).as_secs_f64();
-            end.last_noise = now;
-            if dt <= 0.0 {
-                continue;
-            }
-            let gamma = channels::damping_prob(dt, end.t1);
-            if gamma > 0.0 {
-                pair.state.amplitude_damp(idx, gamma);
-            }
-            let p = channels::dephasing_prob(dt, end.t2);
-            if p > 0.0 {
-                pair.state.dephase(idx, p);
-            }
+        advance_pair(pair, now);
+    }
+
+    /// Advance decoherence on **every** live pair to `now` in one sweep.
+    ///
+    /// Identical per-pair math to [`advance`] — pairs decay independently
+    /// (each end applies only its own T1/T2 channels), so sweeping is
+    /// order-insensitive and agrees with per-pair advancement to the
+    /// same time bit-for-bit. Use it for bulk checkpoints (oracle
+    /// sweeps, snapshots) where touching each pair through the map is
+    /// the overhead; the runtime hot path stays lazy-per-access so the
+    /// elapsed-time decay composition (and thus the committed baselines)
+    /// is unchanged.
+    ///
+    /// [`advance`]: PairStore::advance
+    pub fn advance_all(&mut self, now: SimTime) {
+        for pair in self.pairs.values_mut() {
+            advance_pair(pair, now);
         }
+    }
+
+    /// Oracle (bulk): true fidelities of all live pairs at `now`, in one
+    /// decoherence sweep. Diagnostic counterpart of [`fidelity_to`].
+    ///
+    /// [`fidelity_to`]: PairStore::fidelity_to
+    pub fn fidelities_at(&mut self, expected: BellState, now: SimTime) -> Vec<(PairId, f64)> {
+        self.advance_all(now);
+        let mut out: Vec<(PairId, f64)> = self
+            .pairs
+            .iter()
+            .map(|(id, p)| (PairId(*id), p.state.fidelity_bell(expected)))
+            .collect();
+        out.sort_by_key(|(id, _)| id.0);
+        out
     }
 
     /// Oracle: the true fidelity of the pair to `expected` at time `now`.
@@ -557,6 +572,33 @@ impl PairStore {
             .entry(key)
             .or_insert_with(|| CondTable::distill(p_two, b0_at_na).map(Box::new))
             .as_deref()
+    }
+}
+
+/// Apply elapsed-time T1/T2 decay to both ends of one pair. The single
+/// decoherence kernel behind both the lazy per-access path
+/// ([`PairStore::advance`]) and the batched sweep
+/// ([`PairStore::advance_all`]) — one implementation, so the two paths
+/// cannot drift apart.
+fn advance_pair(pair: &mut Pair, now: SimTime) {
+    for (idx, end) in pair.ends.iter_mut().enumerate() {
+        if end.measured {
+            end.last_noise = now;
+            continue;
+        }
+        let dt = now.since(end.last_noise).as_secs_f64();
+        end.last_noise = now;
+        if dt <= 0.0 {
+            continue;
+        }
+        let gamma = channels::damping_prob(dt, end.t1);
+        if gamma > 0.0 {
+            pair.state.amplitude_damp(idx, gamma);
+        }
+        let p = channels::dephasing_prob(dt, end.t2);
+        if p > 0.0 {
+            pair.state.dephase(idx, p);
+        }
     }
 }
 

@@ -55,4 +55,6 @@ pub use node::{NodeStats, QnpNode};
 pub use policing::{AdmitDecision, Policer};
 pub use request::{Demand, RequestType, UserRequest};
 pub use routing_table::{DownstreamHop, LinkSide, Role, RoutingEntry, UpstreamHop};
-pub use wire::{DecodeError, Wire, WireReader, WireWriter, WIRE_VERSION};
+pub use wire::{
+    BatchView, DecodeError, MessageView, ScratchEncoder, Wire, WireReader, WireWriter, WIRE_VERSION,
+};

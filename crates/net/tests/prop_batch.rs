@@ -1,0 +1,127 @@
+//! Fuzz the BATCH transport frame: exact round-trips of arbitrary inner
+//! frames, total decoding on arbitrary/corrupted/truncated envelopes,
+//! and equivalence of the borrowing (`BatchView`) and owned
+//! (`decode_batch`) walks — including batches whose inner length
+//! prefixes were corrupted in flight.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use qn_net::wire::{batch_append, batch_begin, decode_batch, BatchView, DecodeError, MessageView};
+use qn_net::Message;
+
+fn build_batch(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    batch_begin(&mut buf);
+    for f in frames {
+        batch_append(&mut buf, f);
+    }
+    buf
+}
+
+/// Compare the two walks on one input: identical frames or identical
+/// typed errors.
+fn assert_paths_agree(bytes: &[u8]) -> Result<(), TestCaseError> {
+    match (BatchView::parse(bytes), decode_batch(bytes)) {
+        (Ok(view), Ok(owned)) => {
+            prop_assert_eq!(view.count() as usize, owned.len());
+            let borrowed: Vec<&[u8]> = view.frames().collect();
+            prop_assert_eq!(
+                borrowed,
+                owned.iter().map(Vec::as_slice).collect::<Vec<_>>()
+            );
+        }
+        (Err(a), Err(b)) => prop_assert_eq!(a, b),
+        (a, b) => prop_assert!(
+            false,
+            "batch walks diverge: {:?} vs {:?}",
+            a.map(|v| v.count()),
+            b.map(|f| f.len())
+        ),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary inner frames (opaque byte strings at this layer) round
+    /// trip exactly, in append order.
+    #[test]
+    fn batch_round_trips_arbitrary_frames(frames in vec(vec(any::<u8>(), 0..40), 0..12)) {
+        let buf = build_batch(&frames);
+        let view = BatchView::parse(&buf);
+        prop_assert!(view.is_ok(), "parse failed: {:?}", view.err());
+        let view = view.unwrap();
+        prop_assert_eq!(view.count() as usize, frames.len());
+        let got: Vec<&[u8]> = view.frames().collect();
+        prop_assert_eq!(got, frames.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        prop_assert_eq!(decode_batch(&buf).unwrap(), frames);
+    }
+
+    /// Envelope decoding is total on arbitrary bytes, and the borrowed
+    /// and owned walks agree everywhere.
+    #[test]
+    fn batch_decode_total_and_paths_agree(bytes in vec(any::<u8>(), 0..160)) {
+        assert_paths_agree(&bytes)?;
+        if let Err(e) = BatchView::parse(&bytes) {
+            let _ = format!("{e}");
+        }
+    }
+
+    /// A single flipped bit anywhere in a valid batch — header, count,
+    /// an inner *length prefix*, or an inner frame — never panics
+    /// either walk, and both reach the same verdict.
+    #[test]
+    fn corrupted_batches_keep_paths_equivalent(
+        frames in vec(vec(any::<u8>(), 0..24), 1..8),
+        flip in any::<u32>(),
+    ) {
+        let mut buf = build_batch(&frames);
+        let bit = (flip as usize) % (buf.len() * 8);
+        buf[bit / 8] ^= 1 << (bit % 8);
+        assert_paths_agree(&buf)?;
+    }
+
+    /// Every strict prefix of a valid batch fails identically on both
+    /// walks (with `Truncated` once the header survives).
+    #[test]
+    fn truncated_batches_error_identically(
+        frames in vec(vec(any::<u8>(), 0..24), 1..8),
+        cut in any::<u16>(),
+    ) {
+        let buf = build_batch(&frames);
+        let len = (cut as usize) % buf.len();
+        let a = BatchView::parse(&buf[..len]).map(|v| v.count()).unwrap_err();
+        let b = decode_batch(&buf[..len]).unwrap_err();
+        prop_assert_eq!(a, b);
+        if len >= 2 {
+            prop_assert!(matches!(a, DecodeError::Truncated { .. }), "prefix {} gave {:?}", len, a);
+        }
+    }
+
+    /// End to end through the data plane: a batch of encoded messages
+    /// drains through `MessageView` to the same messages the owned
+    /// per-frame decode yields.
+    #[test]
+    fn batched_messages_view_decode_like_owned(circuits in vec(any::<u64>(), 1..8)) {
+        let msgs: Vec<Message> = circuits
+            .iter()
+            .map(|&c| Message::Expire(qn_net::Expire {
+                circuit: qn_net::CircuitId(c),
+                origin: qn_net::Correlator {
+                    node_a: qn_sim::NodeId(0),
+                    node_b: qn_sim::NodeId(1),
+                    seq: c,
+                },
+            }))
+            .collect();
+        let frames: Vec<Vec<u8>> = msgs.iter().map(Message::wire_bytes).collect();
+        let buf = build_batch(&frames);
+        let view = BatchView::parse(&buf).unwrap();
+        let drained: Vec<Message> = view
+            .frames()
+            .map(|f| MessageView::parse(f).unwrap().to_message())
+            .collect();
+        prop_assert_eq!(drained, msgs);
+    }
+}

@@ -19,7 +19,22 @@
 //!   With faults off ([`ClassicalFaults::OFF`], the default) the plane
 //!   is a bit-identical pass-through of the reliable contract: no extra
 //!   RNG draws, no extra latency, byte-equal payloads.
+//!
+//! The plane **batches**: frames crossing the same directed hop in the
+//! same lane toward the same delivery tick coalesce into one
+//! length-prefixed BATCH frame (`qn_net::wire::batch_begin`). Each
+//! [`transmit`] call reports at most the *newly opened* batches
+//! ([`BatchOpen`]) — the runtime schedules exactly one delivery event
+//! per batch and drains it with [`take_batch`], so a burst of
+//! same-tick signalling costs one event and one demux pass instead of
+//! one per message. Frame order within a batch is append order and
+//! batch delivery times come from the same clamp as before, so
+//! delivery order and fault semantics are preserved exactly.
+//!
+//! [`transmit`]: ClassicalPlane::transmit
+//! [`take_batch`]: ClassicalPlane::take_batch
 
+use qn_net::wire::{batch_append, batch_begin};
 use qn_sim::{NodeId, SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
 
@@ -160,19 +175,47 @@ pub struct ClassicalStats {
     pub decode_failures: u64,
     /// Total encoded payload bytes submitted.
     pub wire_bytes: u64,
+    /// Batch frames opened (= delivery events scheduled).
+    pub batches: u64,
+    /// Payload bytes that rode along in an already-open batch — traffic
+    /// that did not cost its own delivery event.
+    pub bytes_coalesced: u64,
 }
 
-/// One scheduled delivery of an encoded frame.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct WireDelivery {
-    /// When the bytes arrive at the receiver.
+impl ClassicalStats {
+    /// Mean frames per batch delivery event.
+    pub fn frames_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Handle of an open (scheduled but not yet drained) batch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BatchId(pub u64);
+
+/// A batch newly opened by a [`ClassicalPlane::transmit`] call: the
+/// runtime schedules exactly one delivery event per `BatchOpen` and
+/// drains it with [`ClassicalPlane::take_batch`] when the event fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BatchOpen {
+    /// The batch to drain.
+    pub id: BatchId,
+    /// When its frames arrive at the receiver.
     pub at: SimTime,
-    /// The frame bytes (possibly corrupted).
-    pub bytes: Vec<u8>,
+}
+
+struct OpenBatch {
+    key: (NodeId, NodeId, bool, SimTime),
+    buf: Vec<u8>,
 }
 
 /// The classical plane: the reliable in-order transport plus optional
-/// seeded fault injection, operating on encoded frames.
+/// seeded fault injection, operating on encoded frames and coalescing
+/// them into per-(hop, lane, tick) batches.
 ///
 /// Fault sampling uses its **own** RNG substream, so enabling faults
 /// never perturbs the latency/jitter draws — and the faults-off path
@@ -184,6 +227,14 @@ pub struct ClassicalPlane {
     rng_faults: SimRng,
     /// Traffic counters.
     pub stats: ClassicalStats,
+    open_by_key: HashMap<(NodeId, NodeId, bool, SimTime), u64>,
+    open: HashMap<u64, OpenBatch>,
+    next_batch: u64,
+    /// Drained batch buffers waiting for reuse.
+    pool: Vec<Vec<u8>>,
+    /// Copy-on-corrupt buffer (the caller's frame may live in a shared
+    /// encode scratch and must not be mutated in place).
+    fault_scratch: Vec<u8>,
 }
 
 impl ClassicalPlane {
@@ -195,6 +246,11 @@ impl ClassicalPlane {
             faults,
             rng_faults: SimRng::substream(seed, "classical-faults"),
             stats: ClassicalStats::default(),
+            open_by_key: HashMap::new(),
+            open: HashMap::new(),
+            next_batch: 0,
+            pool: Vec::new(),
+            fault_scratch: Vec::new(),
         }
     }
 
@@ -206,39 +262,50 @@ impl ClassicalPlane {
     /// Transmit one encoded frame `from → to` at `now` over `channel`,
     /// sampling latency from `rng_latency` (the caller's message RNG, so
     /// the draw sequence matches the pre-fault-plane runtime exactly).
-    /// Returns the scheduled deliveries: one on the reliable plane; zero
-    /// (drop) up to two (duplicate) under faults.
+    ///
+    /// `lane` discriminates independent sub-streams of the same directed
+    /// hop (the runtime uses the upstream/downstream orientation), so a
+    /// whole batch can be demuxed with one flag at the receiver.
+    ///
+    /// The frame is appended to the open batch for its `(hop, lane,
+    /// delivery tick)` or a new batch is opened; the return value lists
+    /// the batches *opened by this call* (primary and, under faults, a
+    /// duplicate landing on a different tick) — zero entries means the
+    /// frame was dropped or coalesced into already-scheduled batches.
     pub fn transmit(
         &mut self,
         from: NodeId,
         to: NodeId,
+        lane: bool,
         now: SimTime,
         channel: &ChannelModel,
         rng_latency: &mut SimRng,
-        bytes: Vec<u8>,
-    ) -> Vec<WireDelivery> {
+        frame: &[u8],
+    ) -> [Option<BatchOpen>; 2] {
         self.stats.sent += 1;
-        self.stats.wire_bytes += bytes.len() as u64;
+        self.stats.wire_bytes += frame.len() as u64;
         let latency = channel.sample_latency(rng_latency);
         if !self.faults.enabled() {
             // Pass-through: identical draws, clamping and timing as the
             // plain reliable transport.
             let at = self.transport.schedule(from, to, now, latency);
             self.stats.delivered += 1;
-            return vec![WireDelivery { at, bytes }];
+            return [self.append(from, to, lane, at, frame), None];
         }
 
         // Fault draws in a fixed order (drop, corrupt, reorder,
         // duplicate) so a run is a pure function of (seed, config).
         if self.faults.drop > 0.0 && self.rng_faults.bernoulli(self.faults.drop) {
             self.stats.dropped += 1;
-            return Vec::new();
+            return [None, None];
         }
-        let mut bytes = bytes;
+        let mut work = std::mem::take(&mut self.fault_scratch);
+        work.clear();
+        work.extend_from_slice(frame);
         if self.faults.corrupt > 0.0 && self.rng_faults.bernoulli(self.faults.corrupt) {
-            if !bytes.is_empty() {
-                let bit = self.rng_faults.below(bytes.len() as u64 * 8);
-                bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            if !work.is_empty() {
+                let bit = self.rng_faults.below(work.len() as u64 * 8);
+                work[(bit / 8) as usize] ^= 1 << (bit % 8);
                 self.stats.corrupted += 1;
             }
         }
@@ -252,19 +319,64 @@ impl ClassicalPlane {
         } else {
             self.transport.schedule(from, to, now, latency)
         };
-        let mut out = vec![WireDelivery {
-            at: primary_at,
-            bytes: bytes.clone(),
-        }];
+        let first = self.append(from, to, lane, primary_at, &work);
+        self.stats.delivered += 1;
+        let mut second = None;
         if self.faults.duplicate > 0.0 && self.rng_faults.bernoulli(self.faults.duplicate) {
             self.stats.duplicated += 1;
-            out.push(WireDelivery {
-                at: primary_at + self.extra_delay(),
-                bytes,
-            });
+            let dup_at = primary_at + self.extra_delay();
+            second = self.append(from, to, lane, dup_at, &work);
+            self.stats.delivered += 1;
         }
-        self.stats.delivered += out.len() as u64;
-        out
+        self.fault_scratch = work;
+        [first, second]
+    }
+
+    /// Remove an open batch and hand its encoded bytes to the receiver.
+    /// The id is single-use: later frames toward the same `(hop, lane,
+    /// tick)` open a fresh batch, so a drained batch can never grow.
+    pub fn take_batch(&mut self, id: BatchId) -> Option<Vec<u8>> {
+        let open = self.open.remove(&id.0)?;
+        self.open_by_key.remove(&open.key);
+        Some(open.buf)
+    }
+
+    /// Return a drained batch buffer for reuse by later batches.
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.pool.len() < 32 {
+            buf.clear();
+            self.pool.push(buf);
+        }
+    }
+
+    fn append(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        lane: bool,
+        at: SimTime,
+        frame: &[u8],
+    ) -> Option<BatchOpen> {
+        let key = (from, to, lane, at);
+        if let Some(&id) = self.open_by_key.get(&key) {
+            let open = self.open.get_mut(&id).expect("open batch for key");
+            batch_append(&mut open.buf, frame);
+            self.stats.bytes_coalesced += frame.len() as u64;
+            None
+        } else {
+            let id = self.next_batch;
+            self.next_batch += 1;
+            let mut buf = self.pool.pop().unwrap_or_default();
+            batch_begin(&mut buf);
+            batch_append(&mut buf, frame);
+            self.open_by_key.insert(key, id);
+            self.open.insert(id, OpenBatch { key, buf });
+            self.stats.batches += 1;
+            Some(BatchOpen {
+                id: BatchId(id),
+                at,
+            })
+        }
     }
 
     fn extra_delay(&mut self) -> SimDuration {
@@ -338,6 +450,24 @@ mod tests {
         assert!(other < slow);
     }
 
+    /// Drain every batch opened by one transmit call, returning each as
+    /// `(delivery time, inner frames)`.
+    fn drain(
+        plane: &mut ClassicalPlane,
+        opened: [Option<BatchOpen>; 2],
+    ) -> Vec<(SimTime, Vec<Vec<u8>>)> {
+        let mut out = Vec::new();
+        for b in opened.into_iter().flatten() {
+            let buf = plane.take_batch(b.id).expect("opened batch");
+            out.push((
+                b.at,
+                qn_net::wire::decode_batch(&buf).expect("plane-built batch"),
+            ));
+            plane.recycle(buf);
+        }
+        out
+    }
+
     #[test]
     fn faults_off_is_a_pass_through() {
         // Same seed, same channel: the plane with faults off must
@@ -352,14 +482,78 @@ mod tests {
         for i in 0..200u64 {
             let now = SimTime::from_ps(i * 1000);
             let expect = bare.schedule(a, b, now, m.sample_latency(&mut bare_rng));
-            let got = plane.transmit(a, b, now, &m, &mut plane_rng, vec![i as u8]);
+            let opened = plane.transmit(a, b, false, now, &m, &mut plane_rng, &[i as u8]);
+            let got = drain(&mut plane, opened);
             assert_eq!(got.len(), 1);
-            assert_eq!(got[0].at, expect);
-            assert_eq!(got[0].bytes, vec![i as u8]);
+            assert_eq!(got[0].0, expect);
+            assert_eq!(got[0].1, vec![vec![i as u8]]);
         }
         assert_eq!(plane.stats.sent, 200);
         assert_eq!(plane.stats.delivered, 200);
+        assert_eq!(plane.stats.batches, 200);
+        assert_eq!(plane.stats.bytes_coalesced, 0);
         assert_eq!(plane.stats.dropped + plane.stats.corrupted, 0);
+    }
+
+    #[test]
+    fn same_tick_frames_coalesce_into_one_batch() {
+        let m = model(0); // deterministic latency: same tick per send time
+        let (a, b) = (NodeId(0), NodeId(1));
+        let mut plane = ClassicalPlane::new(1, ClassicalFaults::OFF);
+        let mut rng = SimRng::from_seed(1);
+        let now = SimTime::ZERO;
+        let open =
+            plane.transmit(a, b, false, now, &m, &mut rng, b"one")[0].expect("first send opens");
+        for f in [b"two".as_slice(), b"three"] {
+            assert_eq!(
+                plane.transmit(a, b, false, now, &m, &mut rng, f),
+                [None, None],
+                "same (hop, lane, tick) must coalesce"
+            );
+        }
+        // A different lane or hop opens its own batch.
+        assert!(plane.transmit(a, b, true, now, &m, &mut rng, b"x")[0].is_some());
+        assert!(plane.transmit(b, a, false, now, &m, &mut rng, b"y")[0].is_some());
+        let buf = plane.take_batch(open.id).unwrap();
+        assert_eq!(
+            qn_net::wire::decode_batch(&buf).unwrap(),
+            vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()],
+            "append order is delivery order"
+        );
+        plane.recycle(buf);
+        assert_eq!(plane.stats.batches, 3);
+        assert_eq!(plane.stats.bytes_coalesced, 8); // "two" + "three"
+                                                    // A drained id is single-use; the tick re-opens afterwards.
+        assert!(plane.take_batch(open.id).is_none());
+        assert!(plane.transmit(a, b, false, now, &m, &mut rng, b"z")[0].is_some());
+    }
+
+    #[test]
+    fn duplicate_in_zero_window_coalesces_with_primary() {
+        let faults = ClassicalFaults {
+            duplicate: 1.0,
+            ..ClassicalFaults::OFF
+        };
+        let m = model(0);
+        let mut plane = ClassicalPlane::new(3, faults);
+        let mut rng = SimRng::from_seed(3);
+        let opened = plane.transmit(
+            NodeId(0),
+            NodeId(1),
+            false,
+            SimTime::ZERO,
+            &m,
+            &mut rng,
+            b"dup",
+        );
+        // Zero reorder window: the copy lands on the same tick, hence in
+        // the same batch.
+        assert!(opened[0].is_some() && opened[1].is_none());
+        let got = drain(&mut plane, opened);
+        assert_eq!(got[0].1, vec![b"dup".to_vec(), b"dup".to_vec()]);
+        assert_eq!(plane.stats.duplicated, 1);
+        assert_eq!(plane.stats.delivered, 2);
+        assert_eq!(plane.stats.frames_per_batch(), 2.0);
     }
 
     #[test]
@@ -378,15 +572,16 @@ mod tests {
             let mut log = Vec::new();
             for i in 0..300u64 {
                 let now = SimTime::from_ps(i * 777);
-                let out = plane.transmit(
+                let opened = plane.transmit(
                     NodeId(0),
                     NodeId(1),
+                    false,
                     now,
                     &m,
                     &mut rng,
-                    vec![i as u8, (i >> 8) as u8, 0xAB],
+                    &[i as u8, (i >> 8) as u8, 0xAB],
                 );
-                log.push(out);
+                log.push(drain(&mut plane, opened));
             }
             (log, plane.stats)
         };
@@ -410,22 +605,27 @@ mod tests {
         let mut rng = SimRng::from_seed(7);
         let original = vec![0u8; 16];
         for _ in 0..50 {
-            let out = plane.transmit(
+            let opened = plane.transmit(
                 NodeId(0),
                 NodeId(1),
+                false,
                 SimTime::ZERO,
                 &m,
                 &mut rng,
-                original.clone(),
+                &original,
             );
-            assert_eq!(out.len(), 1);
-            let flipped: u32 = out[0]
-                .bytes
+            let got = drain(&mut plane, opened);
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].1.len(), 1);
+            let flipped: u32 = got[0].1[0]
                 .iter()
                 .zip(&original)
                 .map(|(a, b)| (a ^ b).count_ones())
                 .sum();
             assert_eq!(flipped, 1);
+            // Corruption copies into a scratch; the caller's frame (a
+            // shared encode buffer in the runtime) is untouched.
+            assert!(original.iter().all(|&byte| byte == 0));
         }
     }
 

@@ -48,7 +48,7 @@ pub mod runtime;
 
 pub use app::{AppHarness, DeliveryRecord, Payload};
 pub use build::{NetSim, NetworkBuilder};
-pub use classical::{ClassicalFaults, ClassicalPlane, ClassicalStats, WireDelivery};
+pub use classical::{BatchId, BatchOpen, ClassicalFaults, ClassicalPlane, ClassicalStats};
 pub use estimation::FidelityEstimator;
 pub use runtime::{Ev, NetworkModel, RuntimeConfig};
 

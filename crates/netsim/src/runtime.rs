@@ -18,7 +18,7 @@
 //! * application accounting — the [`AppHarness`] with oracle annotations.
 
 use crate::app::{AppHarness, DeliveryRecord, Payload};
-use crate::classical::{ChannelModel, ClassicalFaults, ClassicalPlane, ClassicalStats};
+use crate::classical::{BatchId, ChannelModel, ClassicalFaults, ClassicalPlane, ClassicalStats};
 use qn_hardware::device::{QDevice, QubitId};
 use qn_hardware::heralding::LinkPhysics;
 use qn_hardware::pairs::{PairId, PairStore, SwapNoise};
@@ -93,17 +93,19 @@ impl Default for RuntimeConfig {
 
 /// The event alphabet of the network model.
 pub enum Ev {
-    /// An encoded classical frame arrives at a node. The receiver
-    /// decodes it (`qn_net::wire`); frames that fail to decode are
-    /// counted and dropped — the bytes, not the structs, are the
-    /// interface.
-    MsgDeliver {
+    /// A coalesced batch of encoded classical frames arrives at a node.
+    /// The receiver drains the batch in order, borrow-decoding each
+    /// inner frame (`qn_net::wire::MessageView`); frames that fail to
+    /// decode are counted and dropped — the bytes, not the structs, are
+    /// the interface.
+    BatchDeliver {
         /// Receiving node.
         to: NodeId,
-        /// Whether the sender is the receiver's upstream neighbour.
+        /// Whether the sender is the receiver's upstream neighbour (the
+        /// batch lane: frames only coalesce within one orientation).
         from_upstream: bool,
-        /// The encoded frame (possibly corrupted in flight).
-        wire: Vec<u8>,
+        /// The plane's open-batch handle to drain.
+        batch: BatchId,
     },
     /// A track-timeout armed for an unconfirmed end-node pair fired
     /// (faulty-plane resilience; never armed by default).
@@ -260,6 +262,9 @@ pub struct NetworkModel {
     rng_nodes: Vec<SimRng>,
     rng_msgs: SimRng,
     plane: ClassicalPlane,
+    /// Shared encode buffer: every outgoing frame (data plane and
+    /// signalling) is encoded here instead of a fresh `Vec`.
+    scratch: qn_net::wire::ScratchEncoder,
     /// Diagnostics: protocol-vs-omniscient state mismatches observed.
     pub state_mismatches: u64,
     /// Diagnostics: pairs released before use.
@@ -332,6 +337,7 @@ impl NetworkModel {
             rng_nodes,
             rng_msgs: SimRng::substream(seed, "messages"),
             plane: ClassicalPlane::new(seed, cfg.faults),
+            scratch: qn_net::wire::ScratchEncoder::new(),
             cfg,
             state_mismatches: 0,
             discarded_pairs: 0,
@@ -384,11 +390,17 @@ impl NetworkModel {
                 entry.cutoff = SimDuration::MAX;
             }
             // The signalling plane is byte-accurate too: each per-node
-            // INSTALL round-trips through the wire codec, so the entry
-            // the node installs is the one that survives encoding.
-            let frame = qn_routing::wire::SignalMessage::Install { entry }.wire_bytes();
-            let decoded = match qn_routing::wire::SignalMessage::decode(&frame) {
-                Ok(qn_routing::wire::SignalMessage::Install { entry }) => entry,
+            // INSTALL round-trips through the wire codec (encoded into
+            // the shared scratch, decoded through the borrowed view), so
+            // the entry the node installs is the one that survives
+            // encoding.
+            let frame = self
+                .scratch
+                .frame(|b| qn_routing::wire::SignalMessage::Install { entry }.encode_to(b));
+            let view = qn_routing::wire::SignalMessageView::parse(frame)
+                .expect("INSTALL frame must round-trip");
+            let decoded = match view.to_message() {
+                qn_routing::wire::SignalMessage::Install { entry } => entry,
                 other => unreachable!("INSTALL frame must round-trip, got {other:?}"),
             };
             debug_assert_eq!(decoded, entry);
@@ -461,18 +473,26 @@ impl NetworkModel {
         // The message crosses the hop as encoded bytes: the classical
         // plane transports (and may drop/duplicate/reorder/corrupt)
         // frames, never Rust values. Default config is a bit-identical
-        // pass-through of the reliable in-order transport.
-        let wire = msg.wire_bytes();
-        let deliveries =
-            self.plane
-                .transmit(from, to, ctx.now(), &channel, &mut self.rng_msgs, wire);
-        for d in deliveries {
+        // pass-through of the reliable in-order transport. Encoding goes
+        // through the shared scratch buffer and the plane coalesces
+        // same-tick frames, so only newly opened batches cost an event.
+        let frame = self.scratch.message(&msg);
+        let opened = self.plane.transmit(
+            from,
+            to,
+            downstream,
+            ctx.now(),
+            &channel,
+            &mut self.rng_msgs,
+            frame,
+        );
+        for b in opened.into_iter().flatten() {
             ctx.schedule_at(
-                d.at,
-                Ev::MsgDeliver {
+                b.at,
+                Ev::BatchDeliver {
                     to,
                     from_upstream: downstream,
-                    wire: d.bytes,
+                    batch: b.id,
                 },
             );
         }
@@ -576,9 +596,10 @@ impl NetworkModel {
         // PAIR_READY frame round-trips through the wire codec and the
         // *decoded* pair is what the stack proceeds with.
         let pair = {
-            let mut frame = Vec::with_capacity(64);
-            qn_net::wire::encode_link_event(&LinkEvent::PairReady(pair), &mut frame);
-            match qn_net::wire::decode_link_event(&frame) {
+            let frame = self
+                .scratch
+                .frame(|b| qn_net::wire::encode_link_event(&LinkEvent::PairReady(pair), b));
+            match qn_net::wire::decode_link_event(frame) {
                 Ok(LinkEvent::PairReady(p)) => p,
                 other => unreachable!("PAIR_READY frame must round-trip, got {other:?}"),
             }
@@ -1071,12 +1092,15 @@ impl NetworkModel {
         };
         let path = rt.path.clone();
         // Byte-accurate signalling: the per-node TEARDOWN round-trips
-        // through the wire codec like every other signalling message.
-        let frame = qn_routing::wire::SignalMessage::Teardown { circuit }.wire_bytes();
-        let circuit = match qn_routing::wire::SignalMessage::decode(&frame) {
-            Ok(qn_routing::wire::SignalMessage::Teardown { circuit }) => circuit,
-            other => unreachable!("TEARDOWN frame must round-trip, got {other:?}"),
-        };
+        // through the wire codec like every other signalling message —
+        // scratch-encoded, view-decoded (`circuit` read straight out of
+        // the frame bytes).
+        let frame = self
+            .scratch
+            .frame(|b| qn_routing::wire::SignalMessage::Teardown { circuit }.encode_to(b));
+        let circuit = qn_routing::wire::SignalMessageView::parse(frame)
+            .expect("TEARDOWN frame must round-trip")
+            .circuit();
         for node in path {
             let outs = self.nodes[node.0 as usize]
                 .qnp
@@ -1149,33 +1173,42 @@ impl Model for NetworkModel {
     fn handle(&mut self, now: SimTime, event: Ev, ctx: &mut Context<'_, Ev>) {
         let _ = now;
         match event {
-            Ev::MsgDeliver {
+            Ev::BatchDeliver {
                 to,
                 from_upstream,
-                wire,
+                batch,
             } => {
-                // Decode at the receiver: a frame corrupted in flight
-                // may fail here (counted, dropped — the message is
-                // simply lost) or decode into a different valid message
-                // the protocol rules must absorb.
-                let msg = match Message::decode(&wire) {
-                    Ok(msg) => msg,
-                    Err(err) => {
-                        self.plane.stats.decode_failures += 1;
-                        self.trace.record(
-                            now,
-                            TraceKind::Info,
-                            format!("{to}"),
-                            format!("undecodable frame dropped: {err}"),
-                        );
-                        return;
+                let buf = self
+                    .plane
+                    .take_batch(batch)
+                    .expect("BatchDeliver drains each open batch exactly once");
+                // The envelope was built by the plane (faults corrupt
+                // inner frames *before* batching), so it always parses;
+                // only the per-frame decodes can fail.
+                let view = qn_net::wire::BatchView::parse(&buf)
+                    .expect("plane-built batch envelope is well-formed");
+                for frame in view.frames() {
+                    // Borrow-decode at the receiver: a frame corrupted
+                    // in flight may fail here (counted, dropped — the
+                    // message is simply lost) or decode into a different
+                    // valid message the protocol rules must absorb.
+                    match self.nodes[to.0 as usize]
+                        .qnp
+                        .handle_frame(from_upstream, frame)
+                    {
+                        Ok((circuit, outs)) => self.process_outputs(ctx, to, circuit, outs),
+                        Err(err) => {
+                            self.plane.stats.decode_failures += 1;
+                            self.trace.record(
+                                now,
+                                TraceKind::Info,
+                                format!("{to}"),
+                                format!("undecodable frame dropped: {err}"),
+                            );
+                        }
                     }
-                };
-                let circuit = msg.circuit();
-                let outs = self.nodes[to.0 as usize]
-                    .qnp
-                    .handle(NetInput::Message { from_upstream, msg });
-                self.process_outputs(ctx, to, circuit, outs);
+                }
+                self.plane.recycle(buf);
             }
             Ev::TrackExpiry {
                 node,

@@ -170,6 +170,12 @@ fn faults_off_reproduces_the_fault_free_trajectory_bit_identically() {
     assert_eq!(s1, s2);
     assert_eq!(s1.dropped + s1.duplicated + s1.reordered + s1.corrupted, 0);
     assert_eq!(s1.decode_failures, 0);
+    // Batching observability: every delivered frame rode in exactly one
+    // batch, and the counters are internally consistent.
+    assert!(s1.batches > 0, "no batches opened");
+    assert!(s1.batches <= s1.delivered);
+    assert!(s1.frames_per_batch() >= 1.0);
+    assert!(s1.bytes_coalesced <= s1.wire_bytes);
     assert_eq!(
         base.node_stats().total(),
         0,
@@ -337,6 +343,38 @@ fn fault_sweep_on_wide_dumbbell_is_deterministic_per_seed() {
     }
     // Different seeds sample different fault patterns.
     assert_ne!(trajectory(&run(31)), trajectory(&run(32)));
+}
+
+#[test]
+fn shared_bottleneck_traffic_coalesces_into_batches() {
+    // Three circuits crossing the same widened-dumbbell bottleneck emit
+    // same-tick frames between the same node pairs; the classical plane
+    // must coalesce those into shared batch frames and account for the
+    // saved deliveries in its counters.
+    let (topology, d) = wide_dumbbell(3, HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology).seed(31).build();
+    for (i, (a, b)) in d.straight_pairs().into_iter().enumerate() {
+        let vc = sim.open_circuit(a, b, 0.8, CutoffPolicy::short()).unwrap();
+        sim.submit_at(SimTime::ZERO, vc, keep(i as u64 + 1, a, b, 0.8, 4));
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(45));
+    let s = sim.classical_stats();
+    assert!(
+        s.batches < s.delivered,
+        "no coalescing observed: {} batches for {} frames",
+        s.batches,
+        s.delivered
+    );
+    assert!(s.frames_per_batch() > 1.0);
+    assert!(
+        s.bytes_coalesced > 0 && s.bytes_coalesced < s.wire_bytes,
+        "coalesced byte accounting off: {} of {}",
+        s.bytes_coalesced,
+        s.wire_bytes
+    );
+    // Nothing was lost to coalescing: all frames still arrived.
+    assert_eq!(s.sent, s.delivered);
+    assert_eq!(s.decode_failures, 0);
 }
 
 #[test]
