@@ -343,6 +343,248 @@ fn bench_frame_delivery(c: &mut Criterion) {
     });
 }
 
+/// The pre-slab pair layout: one heap node per pair behind a
+/// `HashMap<u64, _>`, iterated in hash order. Kept here as the
+/// reference the slab store is benchmarked against — the decay math is
+/// byte-for-byte the store's, so the measured difference is purely the
+/// container (hashing on every id lookup, pointer-chasing iteration
+/// vs indexed slots and cache-linear parallel arrays).
+mod map_store {
+    use qn_hardware::pairs::PairEnd;
+    use qn_quantum::bell::BellState;
+    use qn_quantum::channels;
+    use qn_quantum::pairstate::BellDiagonal;
+    use qn_quantum::pairstate::PairState;
+    use qn_sim::{NodeId, SimTime};
+    use std::collections::HashMap;
+
+    pub struct MapPair {
+        pub announced: BellState,
+        pub ends: [PairEnd; 2],
+        pub state: PairState,
+    }
+
+    pub struct MapStore {
+        pub pairs: HashMap<u64, MapPair>,
+        next: u64,
+    }
+
+    impl MapStore {
+        pub fn new() -> Self {
+            MapStore {
+                pairs: HashMap::new(),
+                next: 0,
+            }
+        }
+
+        pub fn create(&mut self, now: SimTime, t1: f64, t2: f64) -> u64 {
+            let id = self.next;
+            self.next += 1;
+            let end = |n: u32| PairEnd {
+                node: NodeId(n),
+                qubit: qn_hardware::device::QubitId(0),
+                t1,
+                t2,
+                last_noise: now,
+                measured: false,
+            };
+            self.pairs.insert(
+                id,
+                MapPair {
+                    announced: BellState::PHI_PLUS,
+                    ends: [end(0), end(1)],
+                    state: PairState::Bell(BellDiagonal::from_bell_state(BellState::PHI_PLUS)),
+                },
+            );
+            id
+        }
+
+        pub fn advance_all(&mut self, now: SimTime) {
+            for p in self.pairs.values_mut() {
+                for (idx, end) in p.ends.iter_mut().enumerate() {
+                    if end.measured {
+                        end.last_noise = now;
+                        continue;
+                    }
+                    let dt = now.since(end.last_noise).as_secs_f64();
+                    end.last_noise = now;
+                    if dt <= 0.0 {
+                        continue;
+                    }
+                    let gamma = channels::damping_prob(dt, end.t1);
+                    if gamma > 0.0 {
+                        p.state.amplitude_damp(idx, gamma);
+                    }
+                    let pd = channels::dephasing_prob(dt, end.t2);
+                    if pd > 0.0 {
+                        p.state.dephase(idx, pd);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The slab refactor's hot paths isolated against the pre-slab layout:
+/// steady-state churn with id-heavy access (`slab_vs_map_lookup_churn`,
+/// the sustained-traffic kernel) and the whole-store decoherence sweep
+/// with real elapsed time (`slab_vs_map_decoherence_sweep`, where the
+/// exponential decay math is shared by both sides and bounds the
+/// attainable speedup).
+fn bench_slab_store(c: &mut Criterion) {
+    use qn_hardware::pairs::PairId;
+    use qn_quantum::pairstate::BellDiagonal;
+
+    const LIVE: usize = 256;
+    const CHURN: usize = 32;
+    let (t1, t2) = (3600.0, 60.0);
+    let bell = || PairState::Bell(BellDiagonal::from_bell_state(BellState::PHI_PLUS));
+    let mk_slab = || {
+        let mut store = PairStore::with_rep(StateRep::Bell);
+        let ids: Vec<PairId> = (0..LIVE)
+            .map(|_| {
+                store.create_pair(
+                    SimTime::ZERO,
+                    bell(),
+                    BellState::PHI_PLUS,
+                    [
+                        (NodeId(0), QubitId(0), t1, t2),
+                        (NodeId(1), QubitId(0), t1, t2),
+                    ],
+                )
+            })
+            .collect();
+        (store, ids)
+    };
+    let mk_map = || {
+        let mut store = map_store::MapStore::new();
+        let ids: Vec<u64> = (0..LIVE)
+            .map(|_| store.create(SimTime::ZERO, t1, t2))
+            .collect();
+        (store, ids)
+    };
+
+    // Sustained traffic: every live pair's handle is resolved several
+    // times per protocol step (generation bookkeeping, swap operands,
+    // cutoff checks, delivery — a dozen-odd lookups over a pair's life),
+    // the store sweeps at the current time (no elapsed decay: the
+    // common checkpoint-right-after-activity case), and the oldest
+    // pairs churn out as fresh ones arrive.
+    const LOOKUP_PASSES: usize = 8;
+    c.bench_function("slab_vs_map_lookup_churn/map", |b| {
+        let (mut store, ids) = mk_map();
+        let mut ids: std::collections::VecDeque<u64> = ids.into();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..LOOKUP_PASSES {
+                for id in &ids {
+                    acc += store.pairs.get(id).map_or(0, |p| p.announced.index());
+                }
+            }
+            store.advance_all(SimTime::ZERO);
+            for _ in 0..CHURN {
+                let old = ids.pop_front().expect("ring is never empty");
+                store.pairs.remove(&old);
+                ids.push_back(store.create(SimTime::ZERO, t1, t2));
+            }
+            acc
+        });
+    });
+    c.bench_function("slab_vs_map_lookup_churn/slab", |b| {
+        let (mut store, ids) = mk_slab();
+        let mut ids: std::collections::VecDeque<PairId> = ids.into();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..LOOKUP_PASSES {
+                for id in &ids {
+                    acc += store.get(*id).map_or(0, |p| p.announced.index());
+                }
+            }
+            store.advance_all(SimTime::ZERO);
+            for _ in 0..CHURN {
+                let old = ids.pop_front().expect("ring is never empty");
+                store.discard(old);
+                ids.push_back(store.create_pair(
+                    SimTime::ZERO,
+                    bell(),
+                    BellState::PHI_PLUS,
+                    [
+                        (NodeId(0), QubitId(0), t1, t2),
+                        (NodeId(1), QubitId(0), t1, t2),
+                    ],
+                ));
+            }
+            acc
+        });
+    });
+
+    // The wired checkpoint sweep with genuinely elapsed time: both
+    // sides pay the same per-pair exponentials, so this measures the
+    // end-to-end sweep including math, not just container traversal.
+    c.bench_function("slab_vs_map_decoherence_sweep/map", |b| {
+        let (mut store, _ids) = mk_map();
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now += SimDuration::from_millis(1);
+            store.advance_all(now);
+        });
+    });
+    c.bench_function("slab_vs_map_decoherence_sweep/slab", |b| {
+        let (mut store, _ids) = mk_slab();
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now += SimDuration::from_millis(1);
+            store.advance_all(now);
+        });
+    });
+}
+
+/// The swap/distill conditional-table cache lookup: the sorted-Vec
+/// binary-search cache that now backs `PairStore` vs the `HashMap` it
+/// replaced, at a realistic cache population (a store accumulates a
+/// handful of distinct `(t1-bits, t2-bits, outcome)` keys per run).
+fn bench_table_cache(c: &mut Criterion) {
+    use std::collections::HashMap;
+    type Key = (u64, u64, u8);
+    const KEYS: usize = 12;
+    let keys: Vec<Key> = (0..KEYS as u64)
+        .map(|i| {
+            (
+                (3600.0f64 + i as f64).to_bits(),
+                (60.0f64 * (i + 1) as f64).to_bits(),
+                (i % 4) as u8,
+            )
+        })
+        .collect();
+    // The lookup mix: tables hit in rotation, as link labels fire
+    // round-robin under the time-share scheduler.
+    let lookups: Vec<Key> = (0..256).map(|i| keys[i % KEYS]).collect();
+    let payload = |k: &Key| vec![k.0 as f64; 16];
+
+    c.bench_function("table_cache_lookup/hashmap", |b| {
+        let map: HashMap<Key, Vec<f64>> = keys.iter().map(|k| (*k, payload(k))).collect();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for k in &lookups {
+                acc += map.get(k).expect("cached")[0];
+            }
+            acc
+        });
+    });
+    c.bench_function("table_cache_lookup/sorted_vec", |b| {
+        let mut entries: Vec<(Key, Vec<f64>)> = keys.iter().map(|k| (*k, payload(k))).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for k in &lookups {
+                let i = entries.binary_search_by(|(e, _)| e.cmp(k)).expect("cached");
+                acc += entries[i].1[0];
+            }
+            acc
+        });
+    });
+}
+
 fn bench_bell_algebra(c: &mut Criterion) {
     c.bench_function("bell_combine_chain_64", |b| {
         let states: Vec<BellState> = (0..64).map(|i| BellState::from_index(i % 4)).collect();
@@ -364,6 +606,8 @@ criterion_group!(
     bench_link_scheduler,
     bench_message_codec,
     bench_frame_delivery,
+    bench_slab_store,
+    bench_table_cache,
     bench_bell_algebra
 );
 criterion_main!(benches);

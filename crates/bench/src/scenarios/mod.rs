@@ -13,6 +13,7 @@ mod fig10;
 mod fig11;
 mod fig8;
 mod fig9;
+mod openworld;
 
 pub use ablation::{chain_point_scenario, cutoff_point_scenario, ChainPoint, CutoffPoint};
 pub use diversity::{wide_dumbbell_scenario, WideDumbbellPoint};
@@ -20,6 +21,7 @@ pub use fig10::{fig10ab_scenario, fig10c_scenario, Fig10Point, Fig10Variant, Fig
 pub use fig11::{fig11_plan, fig11_scenario};
 pub use fig8::{circuit_pairs, fig8_scenario, Fig8Point};
 pub use fig9::{fig9_scenario, Fig9Point};
+pub use openworld::{openworld_scenario, OpenWorldConfig, OpenWorldPoint, OwArrivals, OwTopology};
 
 use qn_hardware::params::{FibreParams, HardwareParams};
 use qn_net::{Address, Demand, RequestId, RequestType, UserRequest};

@@ -168,6 +168,18 @@ pub fn fig9_sweep(seeds: &[u64], congested: bool, interval: SimDuration) -> Vec<
     )
 }
 
+/// Open-world workload sweep: one sustained-traffic run per seed.
+pub fn openworld_sweep(
+    seeds: &[u64],
+    cfg: &crate::scenarios::OpenWorldConfig,
+) -> Vec<crate::scenarios::OpenWorldPoint> {
+    let cfg = cfg.clone();
+    run_sweep(
+        move |seed: u64| crate::scenarios::openworld_scenario(seed, &cfg),
+        seeds,
+    )
+}
+
 /// Fig 10a,b sweep: one decoherence run per seed.
 pub fn fig10ab_sweep(seeds: &[u64], t2: f64, variant: Fig10Variant) -> Vec<Fig10Point> {
     run_sweep(move |seed: u64| fig10ab_scenario(seed, t2, variant), seeds)

@@ -52,6 +52,6 @@ pub mod params;
 pub use device::{QDevice, QubitId, QubitKind};
 pub use distill::{bbpssw_output_fidelity, bbpssw_success_prob, DistillResult};
 pub use heralding::LinkPhysics;
-pub use pairs::{MeasureResult, Pair, PairId, PairStore, SwapNoise, SwapResult};
+pub use pairs::{MeasureResult, PairId, PairStore, PairView, SwapNoise, SwapResult};
 pub use params::{FibreParams, GateParams, GateSpec, HardwareParams, ReadoutSpec};
 pub use qn_quantum::pairstate::{PairState, StateRep};

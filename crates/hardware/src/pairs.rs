@@ -1,8 +1,15 @@
 //! The entangled-pair store: the quantum memory content of the network.
 //!
-//! Every live entangled pair is one [`Pair`] — a two-qubit density matrix
-//! whose ends live on two (possibly distant) nodes. The store implements
-//! the physical operations of the data plane:
+//! Every live entangled pair occupies one slot of a **generational
+//! slab** — dense `Vec` storage plus a free list. A [`PairId`] packs
+//! the slot index with the slot's generation, so handles to discarded
+//! pairs are *detected* (lookups return `None`), never silently aliased
+//! to the slot's next occupant. The per-pair fields the decoherence
+//! sweep touches (end bookkeeping: `last_noise`, T1/T2; the state
+//! representation) live in parallel arrays, so [`PairStore::advance_all`]
+//! streams them cache-linearly instead of chasing a hash map.
+//!
+//! The store implements the physical operations of the data plane:
 //!
 //! * **lazy decoherence** — each end records when its noise was last
 //!   advanced; every touch first applies T1 amplitude damping and T2*
@@ -27,14 +34,35 @@ use qn_quantum::bell::BellState;
 use qn_quantum::channels;
 use qn_quantum::gates::{self, Pauli};
 use qn_quantum::measure::swap_circuit_outcome;
-use qn_quantum::pairstate::{CondTable, PairState, StateRep};
+use qn_quantum::pairstate::{BellDiagonal, CondTable, PairState, StateRep};
 use qn_quantum::DensityMatrix;
 use qn_sim::{NodeId, SimRng, SimTime};
-use std::collections::HashMap;
 
-/// Identifier of a live entangled pair.
+/// Identifier of a live entangled pair: slot index in the low 32 bits,
+/// the slot's generation in the high 32. A store with no churn hands
+/// out the same dense `0, 1, 2, …` values the old sequential counter
+/// did; once slots are reused the generation half keeps every id ever
+/// issued unique, so a stale handle can be detected rather than
+/// resolving to the slot's next occupant.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PairId(pub u64);
+
+impl PairId {
+    /// Pack a slot index and generation.
+    pub fn from_parts(index: u32, generation: u32) -> Self {
+        PairId(((generation as u64) << 32) | index as u64)
+    }
+
+    /// The slab slot this id names.
+    pub fn index(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
+    /// The slot generation this id was issued under.
+    pub fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// One end of a pair: which qubit on which node holds it, with its
 /// decoherence bookkeeping.
@@ -54,12 +82,13 @@ pub struct PairEnd {
     pub measured: bool,
 }
 
-/// A live entangled pair.
-#[derive(Clone, Debug)]
-pub struct Pair {
+/// Borrowed view of one live pair, stitched from the slab's parallel
+/// arrays. Cheap to copy; the `id`/`announced`/`created` fields are
+/// plain values, the state and ends borrow the store.
+#[derive(Clone, Copy)]
+pub struct PairView<'a> {
     /// The pair's identity in the store.
     pub id: PairId,
-    state: PairState,
     /// The Bell state a *perfect* tracker would assign: the link layer's
     /// announced state for fresh pairs, XOR-combined through every swap.
     /// Protocol-level TRACK accounting must agree with this (tested), and
@@ -67,13 +96,14 @@ pub struct Pair {
     pub announced: BellState,
     /// Creation (heralding or swap-completion) time.
     pub created: SimTime,
-    ends: [PairEnd; 2],
+    state: &'a PairState,
+    ends: &'a [PairEnd; 2],
 }
 
-impl Pair {
+impl<'a> PairView<'a> {
     /// The two ends.
-    pub fn ends(&self) -> &[PairEnd; 2] {
-        &self.ends
+    pub fn ends(&self) -> &'a [PairEnd; 2] {
+        self.ends
     }
 
     /// Index (0/1) of the end on `node`, if any.
@@ -83,9 +113,25 @@ impl Pair {
 
     /// The current two-qubit state (without advancing decoherence — use
     /// [`PairStore::fidelity_to`] for oracle reads).
-    pub fn state(&self) -> &PairState {
-        &self.state
+    pub fn state(&self) -> &'a PairState {
+        self.state
     }
+}
+
+/// Per-slot metadata: generation + liveness, and the two small
+/// per-pair values that don't participate in the decoherence sweep.
+#[derive(Clone, Debug)]
+struct SlotMeta {
+    generation: u32,
+    live: bool,
+    announced: BellState,
+    created: SimTime,
+}
+
+/// Placeholder state parked in vacant slots (never observable: every
+/// read goes through a generation check first).
+fn vacant_state() -> PairState {
+    PairState::Bell(BellDiagonal::from_bell_state(BellState::PHI_PLUS))
 }
 
 /// Noise model of the swap circuit, derived from [`HardwareParams`].
@@ -133,7 +179,38 @@ pub struct MeasureResult {
     pub reported: bool,
 }
 
-/// All live pairs in the network.
+/// Small sorted-`Vec` cache for the conditional-map tables. The key
+/// space is tiny and static per run (one entry per noise parameter set
+/// × circuit orientation), so a binary-searched flat array beats
+/// hashing the key on every swap/distill.
+struct TableCache<K> {
+    entries: Vec<(K, Option<Box<CondTable>>)>,
+}
+
+impl<K: Ord + Copy> TableCache<K> {
+    fn new() -> Self {
+        TableCache {
+            entries: Vec::new(),
+        }
+    }
+
+    fn get_or_insert(
+        &mut self,
+        key: K,
+        build: impl FnOnce() -> Option<Box<CondTable>>,
+    ) -> Option<&CondTable> {
+        let idx = match self.entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (key, build()));
+                i
+            }
+        };
+        self.entries[idx].1.as_deref()
+    }
+}
+
+/// All live pairs in the network, stored as a generational slab.
 ///
 /// The store runs on one of two state representations (the `QNP_QSTATE`
 /// knob, see [`StateRep`]): the Bell-diagonal closed-form fast path or
@@ -141,18 +218,27 @@ pub struct MeasureResult {
 /// RNG draw order and outcomes — the fast path just replaces every 4×4
 /// (and, for swaps/distillation, 16×16) matrix operation with a few
 /// dozen real multiplies.
+///
+/// Layout: three parallel arrays indexed by slot — `meta` (generation,
+/// liveness, announced frame, creation time), `ends` (the decoherence
+/// bookkeeping both sweep paths touch), `states` (the quantum state).
+/// Freed slots go on a LIFO free list and are reused under a bumped
+/// generation.
 pub struct PairStore {
-    pairs: HashMap<u64, Pair>,
-    next: u64,
+    meta: Vec<SlotMeta>,
+    ends: Vec<[PairEnd; 2]>,
+    states: Vec<PairState>,
+    free: Vec<u32>,
+    live: usize,
     rep: StateRep,
     /// Conditional-map tables for the noisy swap circuit, keyed by the
     /// noise parameters' bit patterns and the pair orientation
     /// `ia·2+ib`. `None` records a (never expected) X-closure failure:
     /// that noise set permanently uses the dense path.
-    swap_tables: HashMap<(u64, u64, u8), Option<Box<CondTable>>>,
+    swap_tables: TableCache<(u64, u64, u8)>,
     /// Same for the distillation circuit, keyed by noise bits and the
     /// sacrificed pair's orientation.
-    distill_tables: HashMap<(u64, bool), Option<Box<CondTable>>>,
+    distill_tables: TableCache<(u64, bool)>,
 }
 
 impl Default for PairStore {
@@ -172,11 +258,14 @@ impl PairStore {
     /// comparisons).
     pub fn with_rep(rep: StateRep) -> Self {
         PairStore {
-            pairs: HashMap::new(),
-            next: 0,
+            meta: Vec::new(),
+            ends: Vec::new(),
+            states: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             rep,
-            swap_tables: HashMap::new(),
-            distill_tables: HashMap::new(),
+            swap_tables: TableCache::new(),
+            distill_tables: TableCache::new(),
         }
     }
 
@@ -187,12 +276,74 @@ impl PairStore {
 
     /// Number of live pairs.
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        self.live
     }
 
     /// True when no pairs are live.
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.live == 0
+    }
+
+    /// Number of slab slots (live + vacant) — the sweep's stream length.
+    pub fn slot_count(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Resolve a handle to its slot: the slot must be live *and* on the
+    /// same generation the handle was issued under.
+    fn slot(&self, id: PairId) -> Option<usize> {
+        let i = id.index();
+        let m = self.meta.get(i)?;
+        (m.live && m.generation == id.generation()).then_some(i)
+    }
+
+    /// Claim a slot (reusing the free list LIFO) and place a pair in it.
+    fn insert_slot(
+        &mut self,
+        created: SimTime,
+        state: PairState,
+        announced: BellState,
+        ends: [PairEnd; 2],
+    ) -> PairId {
+        self.live += 1;
+        match self.free.pop() {
+            Some(i) => {
+                let i = i as usize;
+                let m = &mut self.meta[i];
+                m.live = true;
+                m.announced = announced;
+                m.created = created;
+                self.states[i] = state;
+                self.ends[i] = ends;
+                PairId::from_parts(i as u32, self.meta[i].generation)
+            }
+            None => {
+                let i = self.meta.len() as u32;
+                self.meta.push(SlotMeta {
+                    generation: 0,
+                    live: true,
+                    announced,
+                    created,
+                });
+                self.states.push(state);
+                self.ends.push(ends);
+                PairId::from_parts(i, 0)
+            }
+        }
+    }
+
+    /// Vacate a slot, bumping its generation so outstanding handles go
+    /// stale. Returns the slot's state, announced frame, and ends.
+    fn remove_parts(&mut self, id: PairId) -> Option<(PairState, BellState, [PairEnd; 2])> {
+        let i = self.slot(id)?;
+        let m = &mut self.meta[i];
+        m.live = false;
+        m.generation = m.generation.wrapping_add(1);
+        let announced = m.announced;
+        self.free.push(i as u32);
+        self.live -= 1;
+        let state = std::mem::replace(&mut self.states[i], vacant_state());
+        Some((state, announced, self.ends[i].clone()))
     }
 
     /// Register a freshly heralded pair. `ends` lists `(node, qubit, t1,
@@ -224,8 +375,6 @@ impl PairStore {
         announced: BellState,
         ends: [(NodeId, QubitId, f64, f64); 2],
     ) -> PairId {
-        let id = PairId(self.next);
-        self.next += 1;
         let mk = |(node, qubit, t1, t2): (NodeId, QubitId, f64, f64)| PairEnd {
             node,
             qubit,
@@ -234,44 +383,39 @@ impl PairStore {
             last_noise: now,
             measured: false,
         };
-        self.pairs.insert(
-            id.0,
-            Pair {
-                id,
-                state,
-                announced,
-                created: now,
-                ends: [mk(ends[0]), mk(ends[1])],
-            },
-        );
-        id
+        self.insert_slot(now, state, announced, [mk(ends[0]), mk(ends[1])])
     }
 
-    /// Look up a pair.
-    pub fn get(&self, id: PairId) -> Option<&Pair> {
-        self.pairs.get(&id.0)
+    /// Look up a pair. Stale handles (the slot was freed, possibly
+    /// reused) resolve to `None`.
+    pub fn get(&self, id: PairId) -> Option<PairView<'_>> {
+        let i = self.slot(id)?;
+        let m = &self.meta[i];
+        Some(PairView {
+            id,
+            announced: m.announced,
+            created: m.created,
+            state: &self.states[i],
+            ends: &self.ends[i],
+        })
     }
 
     /// Whether the pair is still live.
     pub fn contains(&self, id: PairId) -> bool {
-        self.pairs.contains_key(&id.0)
+        self.slot(id).is_some()
     }
 
     /// Remove a pair (cutoff discard, delivery consumption). Returns the
     /// qubits freed, for return to the memory manager.
     pub fn discard(&mut self, id: PairId) -> Option<[(NodeId, QubitId); 2]> {
-        self.pairs.remove(&id.0).map(|p| {
-            [
-                (p.ends[0].node, p.ends[0].qubit),
-                (p.ends[1].node, p.ends[1].qubit),
-            ]
-        })
+        self.remove_parts(id)
+            .map(|(_, _, ends)| [(ends[0].node, ends[0].qubit), (ends[1].node, ends[1].qubit)])
     }
 
     /// Advance decoherence on both ends to `now`.
     pub fn advance(&mut self, id: PairId, now: SimTime) {
-        let pair = self.pairs.get_mut(&id.0).expect("advance on dead pair");
-        advance_pair(pair, now);
+        let i = self.slot(id).expect("advance on dead pair");
+        advance_parts(&mut self.states[i], &mut self.ends[i], now);
     }
 
     /// Advance decoherence on **every** live pair to `now` in one sweep.
@@ -279,32 +423,51 @@ impl PairStore {
     /// Identical per-pair math to [`advance`] — pairs decay independently
     /// (each end applies only its own T1/T2 channels), so sweeping is
     /// order-insensitive and agrees with per-pair advancement to the
-    /// same time bit-for-bit. Use it for bulk checkpoints (oracle
-    /// sweeps, snapshots) where touching each pair through the map is
-    /// the overhead; the runtime hot path stays lazy-per-access so the
-    /// elapsed-time decay composition (and thus the committed baselines)
-    /// is unchanged.
+    /// same time bit-for-bit. The slab layout makes this a linear walk
+    /// over three parallel arrays in slot order; the runtime drives it
+    /// through its checkpoint policy (`CheckpointPolicy` in
+    /// `qn_netsim`), which by default checkpoints at exactly the
+    /// `SimTime`s the lazy path would touch, keeping baselines
+    /// bit-identical.
     ///
     /// [`advance`]: PairStore::advance
     pub fn advance_all(&mut self, now: SimTime) {
-        for pair in self.pairs.values_mut() {
-            advance_pair(pair, now);
+        for ((m, ends), state) in self
+            .meta
+            .iter()
+            .zip(self.ends.iter_mut())
+            .zip(self.states.iter_mut())
+        {
+            if !m.live {
+                continue;
+            }
+            advance_parts(state, ends, now);
         }
     }
 
     /// Oracle (bulk): true fidelities of all live pairs at `now`, in one
-    /// decoherence sweep. Diagnostic counterpart of [`fidelity_to`].
+    /// decoherence sweep, appended to `out` in slot order. The caller
+    /// owns (and reuses) the scratch buffer — the sweep itself never
+    /// allocates. Diagnostic counterpart of [`fidelity_to`].
     ///
     /// [`fidelity_to`]: PairStore::fidelity_to
-    pub fn fidelities_at(&mut self, expected: BellState, now: SimTime) -> Vec<(PairId, f64)> {
+    pub fn fidelities_at(
+        &mut self,
+        expected: BellState,
+        now: SimTime,
+        out: &mut Vec<(PairId, f64)>,
+    ) {
         self.advance_all(now);
-        let mut out: Vec<(PairId, f64)> = self
-            .pairs
-            .iter()
-            .map(|(id, p)| (PairId(*id), p.state.fidelity_bell(expected)))
-            .collect();
-        out.sort_by_key(|(id, _)| id.0);
-        out
+        out.clear();
+        for (i, m) in self.meta.iter().enumerate() {
+            if !m.live {
+                continue;
+            }
+            out.push((
+                PairId::from_parts(i as u32, m.generation),
+                self.states[i].fidelity_bell(expected),
+            ));
+        }
     }
 
     /// Oracle: the true fidelity of the pair to `expected` at time `now`.
@@ -314,28 +477,32 @@ impl PairStore {
     /// "physically impossible" oracle).
     pub fn fidelity_to(&mut self, id: PairId, expected: BellState, now: SimTime) -> f64 {
         self.advance(id, now);
-        let pair = &self.pairs[&id.0];
-        pair.state.fidelity_bell(expected)
+        let i = self.slot(id).expect("fidelity on dead pair");
+        self.states[i].fidelity_bell(expected)
     }
 
     /// Apply a (perfect, per Table 1) Pauli correction to the end on
     /// `node`.
     pub fn apply_pauli(&mut self, id: PairId, node: NodeId, pauli: Pauli, now: SimTime) {
         self.advance(id, now);
-        let pair = self.pairs.get_mut(&id.0).expect("pauli on dead pair");
-        let idx = pair.end_at(node).expect("node does not hold this pair");
+        let i = self.slot(id).expect("pauli on dead pair");
+        let idx = self.ends[i]
+            .iter()
+            .position(|e| e.node == node)
+            .expect("node does not hold this pair");
         if pauli != Pauli::I {
-            pair.state.apply_pauli(idx, pauli);
+            self.states[i].apply_pauli(idx, pauli);
         }
         // Track the frame change on the reference state too, so the oracle
         // keeps measuring against what a perfect tracker would expect.
+        let m = &mut self.meta[i];
         let target = match pauli {
-            Pauli::I => pair.announced,
-            Pauli::X => BellState::from_bits(!pair.announced.x, pair.announced.z),
-            Pauli::Z => BellState::from_bits(pair.announced.x, !pair.announced.z),
-            Pauli::Y => BellState::from_bits(!pair.announced.x, !pair.announced.z),
+            Pauli::I => m.announced,
+            Pauli::X => BellState::from_bits(!m.announced.x, m.announced.z),
+            Pauli::Z => BellState::from_bits(m.announced.x, !m.announced.z),
+            Pauli::Y => BellState::from_bits(!m.announced.x, !m.announced.z),
         };
-        pair.announced = target;
+        m.announced = target;
     }
 
     /// Apply extra dephasing (nuclear-spin noise during entanglement
@@ -344,17 +511,23 @@ impl PairStore {
         if lambda <= 0.0 {
             return;
         }
-        let pair = self.pairs.get_mut(&id.0).expect("dephase on dead pair");
-        let idx = pair.end_at(node).expect("node does not hold this pair");
-        pair.state.dephase(idx, lambda.min(0.5));
+        let i = self.slot(id).expect("dephase on dead pair");
+        let idx = self.ends[i]
+            .iter()
+            .position(|e| e.node == node)
+            .expect("node does not hold this pair");
+        self.states[i].dephase(idx, lambda.min(0.5));
     }
 
     /// Fully (or partially) depolarize the end on `node` — the fate of
     /// an abandoned end whose qubit is re-initialised for new attempts.
     pub fn depolarize_end(&mut self, id: PairId, node: NodeId, p: f64) {
-        let pair = self.pairs.get_mut(&id.0).expect("depolarize on dead pair");
-        let idx = pair.end_at(node).expect("node does not hold this pair");
-        pair.state.depolarize(idx, p);
+        let i = self.slot(id).expect("depolarize on dead pair");
+        let idx = self.ends[i]
+            .iter()
+            .position(|e| e.node == node)
+            .expect("node does not hold this pair");
+        self.states[i].depolarize(idx, p);
     }
 
     /// Move the end on `node` to a different memory slot (electron →
@@ -372,15 +545,19 @@ impl PairStore {
         now: SimTime,
     ) -> QubitId {
         self.advance(id, now);
-        let pair = self.pairs.get_mut(&id.0).expect("retarget on dead pair");
-        let idx = pair.end_at(node).expect("node does not hold this pair");
+        let i = self.slot(id).expect("retarget on dead pair");
+        let idx = self.ends[i]
+            .iter()
+            .position(|e| e.node == node)
+            .expect("node does not hold this pair");
         if p_move > 0.0 {
-            pair.state.depolarize(idx, p_move);
+            self.states[i].depolarize(idx, p_move);
         }
-        let old = pair.ends[idx].qubit;
-        pair.ends[idx].qubit = new_qubit;
-        pair.ends[idx].t1 = t1;
-        pair.ends[idx].t2 = t2;
+        let end = &mut self.ends[i][idx];
+        let old = end.qubit;
+        end.qubit = new_qubit;
+        end.t1 = t1;
+        end.t2 = t2;
         old
     }
 
@@ -397,11 +574,14 @@ impl PairStore {
         rng: &mut SimRng,
     ) -> MeasureResult {
         self.advance(id, now);
-        let pair = self.pairs.get_mut(&id.0).expect("measure on dead pair");
-        let idx = pair.end_at(node).expect("node does not hold this pair");
-        assert!(!pair.ends[idx].measured, "end already measured");
-        let true_outcome = pair.state.measure_pauli(idx, basis, rng.f64());
-        pair.ends[idx].measured = true;
+        let i = self.slot(id).expect("measure on dead pair");
+        let idx = self.ends[i]
+            .iter()
+            .position(|e| e.node == node)
+            .expect("node does not hold this pair");
+        assert!(!self.ends[i][idx].measured, "end already measured");
+        let true_outcome = self.states[i].measure_pauli(idx, basis, rng.f64());
+        self.ends[i][idx].measured = true;
         let reported = apply_readout_error(true_outcome, readout, rng);
         MeasureResult {
             true_outcome,
@@ -412,9 +592,8 @@ impl PairStore {
     /// Whether both ends have been measured (the pair carries no more
     /// quantum information and can be discarded).
     pub fn fully_measured(&self, id: PairId) -> bool {
-        self.pairs
-            .get(&id.0)
-            .map(|p| p.ends.iter().all(|e| e.measured))
+        self.slot(id)
+            .map(|i| self.ends[i].iter().all(|e| e.measured))
             .unwrap_or(true)
     }
 
@@ -436,17 +615,23 @@ impl PairStore {
     ) -> SwapResult {
         self.advance(pa, now);
         self.advance(pb, now);
-        let a = self.pairs.remove(&pa.0).expect("swap: pair A dead");
-        let b = self.pairs.remove(&pb.0).expect("swap: pair B dead");
-        let ia = a.end_at(shared).expect("pair A not at swap node");
-        let ib = b.end_at(shared).expect("pair B not at swap node");
+        let (a_state, a_announced, a_ends) = self.remove_parts(pa).expect("swap: pair A dead");
+        let (b_state, b_announced, b_ends) = self.remove_parts(pb).expect("swap: pair B dead");
+        let ia = a_ends
+            .iter()
+            .position(|e| e.node == shared)
+            .expect("pair A not at swap node");
+        let ib = b_ends
+            .iter()
+            .position(|e| e.node == shared)
+            .expect("pair B not at swap node");
         let oa = 1 - ia; // outer end of A
         let ob = 1 - ib;
 
         // Fast path: both states Bell-diagonal and the conditional-map
         // table for this noise/orientation is X-closed — the whole
         // noisy circuit collapses to one 36-term contraction.
-        let fast = match (a.state.as_bell(), b.state.as_bell()) {
+        let fast = match (a_state.as_bell(), b_state.as_bell()) {
             (Some(x), Some(y)) => self
                 .swap_table(noise, ia, ib)
                 .map(|t| {
@@ -462,7 +647,7 @@ impl PairStore {
             Some(res) => res,
             None => {
                 // Dense path: joint register [a0, a1, b0, b1].
-                let mut joint = a.state.to_density().tensor(&b.state.to_density());
+                let mut joint = a_state.to_density().tensor(&b_state.to_density());
                 let qa = ia; // control: A's qubit at the node
                 let qb = 2 + ib; // target: B's qubit at the node
 
@@ -490,25 +675,13 @@ impl PairStore {
         let r_target = apply_readout_error(m_target, &noise.readout, rng);
         let outcome = swap_circuit_outcome(r_control, r_target);
 
-        let announced = a.announced.combine(b.announced, outcome);
-        let id = PairId(self.next);
-        self.next += 1;
-        let created = now;
+        let announced = a_announced.combine(b_announced, outcome);
         let freed = [
-            (a.ends[ia].node, a.ends[ia].qubit),
-            (b.ends[ib].node, b.ends[ib].qubit),
+            (a_ends[ia].node, a_ends[ia].qubit),
+            (b_ends[ib].node, b_ends[ib].qubit),
         ];
-        let ends = [a.ends[oa].clone(), b.ends[ob].clone()];
-        self.pairs.insert(
-            id.0,
-            Pair {
-                id,
-                state,
-                announced,
-                created,
-                ends,
-            },
-        );
+        let ends = [a_ends[oa].clone(), b_ends[ob].clone()];
+        let id = self.insert_slot(now, state, announced, ends);
         SwapResult {
             outcome,
             new_pair: id,
@@ -527,9 +700,9 @@ impl PairStore {
     /// [`PairStore::replace_state`] for a state already in pair-state
     /// form.
     pub fn replace_pair_state(&mut self, id: PairId, state: PairState, announced: BellState) {
-        let pair = self.pairs.get_mut(&id.0).expect("replace on dead pair");
-        pair.state = state;
-        pair.announced = announced;
+        let i = self.slot(id).expect("replace on dead pair");
+        self.states[i] = state;
+        self.meta[i].announced = announced;
     }
 
     /// Escape hatch for applications and experiments (teleportation
@@ -541,12 +714,21 @@ impl PairStore {
         id: PairId,
         f: impl FnOnce(&mut DensityMatrix) -> R,
     ) -> Option<R> {
-        self.pairs.get_mut(&id.0).map(|p| f(p.state.dm_mut()))
+        let i = self.slot(id)?;
+        Some(f(self.states[i].dm_mut()))
     }
 
-    /// Iterate over all live pairs.
-    pub fn iter(&self) -> impl Iterator<Item = &Pair> {
-        self.pairs.values()
+    /// Iterate over all live pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = PairView<'_>> {
+        self.meta.iter().enumerate().filter_map(move |(i, m)| {
+            m.live.then(|| PairView {
+                id: PairId::from_parts(i as u32, m.generation),
+                announced: m.announced,
+                created: m.created,
+                state: &self.states[i],
+                ends: &self.ends[i],
+            })
+        })
     }
 
     /// The cached conditional-map table for the swap circuit at this
@@ -557,21 +739,16 @@ impl PairStore {
             noise.p_single.to_bits(),
             (ia * 2 + ib) as u8,
         );
+        let (p2, p1) = (noise.p_two_qubit, noise.p_single);
         self.swap_tables
-            .entry(key)
-            .or_insert_with(|| {
-                CondTable::swap(noise.p_two_qubit, noise.p_single, ia, ib).map(Box::new)
-            })
-            .as_deref()
+            .get_or_insert(key, || CondTable::swap(p2, p1, ia, ib).map(Box::new))
     }
 
     /// The cached conditional-map table for the distillation circuit.
     pub(crate) fn distill_table(&mut self, p_two: f64, b0_at_na: bool) -> Option<&CondTable> {
         let key = (p_two.to_bits(), b0_at_na);
         self.distill_tables
-            .entry(key)
-            .or_insert_with(|| CondTable::distill(p_two, b0_at_na).map(Box::new))
-            .as_deref()
+            .get_or_insert(key, || CondTable::distill(p_two, b0_at_na).map(Box::new))
     }
 }
 
@@ -580,8 +757,8 @@ impl PairStore {
 /// ([`PairStore::advance`]) and the batched sweep
 /// ([`PairStore::advance_all`]) — one implementation, so the two paths
 /// cannot drift apart.
-fn advance_pair(pair: &mut Pair, now: SimTime) {
-    for (idx, end) in pair.ends.iter_mut().enumerate() {
+fn advance_parts(state: &mut PairState, ends: &mut [PairEnd; 2], now: SimTime) {
+    for (idx, end) in ends.iter_mut().enumerate() {
         if end.measured {
             end.last_noise = now;
             continue;
@@ -593,11 +770,11 @@ fn advance_pair(pair: &mut Pair, now: SimTime) {
         }
         let gamma = channels::damping_prob(dt, end.t1);
         if gamma > 0.0 {
-            pair.state.amplitude_damp(idx, gamma);
+            state.amplitude_damp(idx, gamma);
         }
         let p = channels::dephasing_prob(dt, end.t2);
         if p > 0.0 {
-            pair.state.dephase(idx, p);
+            state.dephase(idx, p);
         }
     }
 }
@@ -648,6 +825,56 @@ mod tests {
         let id = mk_pair(&mut store, 60.0, BellState::PSI_PLUS, SimTime::ZERO);
         let f = store.fidelity_to(id, BellState::PSI_PLUS, SimTime::ZERO);
         assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn churn_free_ids_are_dense_and_sequential() {
+        // Without slot reuse the packed ids match the old sequential
+        // counter: 0, 1, 2, … (generation half zero).
+        let mut store = PairStore::new();
+        for i in 0..5u64 {
+            let id = mk_pair(&mut store, 60.0, BellState::PHI_PLUS, SimTime::ZERO);
+            assert_eq!(id.0, i);
+            assert_eq!(id.generation(), 0);
+        }
+        assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation_and_detects_stale_handles() {
+        let mut store = PairStore::new();
+        let a = mk_pair(&mut store, 60.0, BellState::PHI_PLUS, SimTime::ZERO);
+        store.discard(a).unwrap();
+        let b = mk_pair(&mut store, 60.0, BellState::PSI_MINUS, SimTime::ZERO);
+        // Same slot, new generation: the handle values differ.
+        assert_eq!(b.index(), a.index());
+        assert_eq!(b.generation(), a.generation() + 1);
+        assert_ne!(a, b);
+        // The stale handle does not alias the new occupant.
+        assert!(store.get(a).is_none());
+        assert!(!store.contains(a));
+        assert!(store.discard(a).is_none());
+        assert!(store.fully_measured(a));
+        assert_eq!(store.get(b).unwrap().announced, BellState::PSI_MINUS);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn fidelities_at_reuses_scratch_in_slot_order() {
+        let mut store = PairStore::new();
+        let a = mk_pair(&mut store, 60.0, BellState::PHI_PLUS, SimTime::ZERO);
+        let b = mk_pair(&mut store, 60.0, BellState::PHI_PLUS, SimTime::ZERO);
+        let mut out = vec![(PairId(99), 0.0)]; // stale content is cleared
+        store.fidelities_at(BellState::PHI_PLUS, SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, a);
+        assert_eq!(out[1].0, b);
+        assert!((out[0].1 - 1.0).abs() < 1e-12);
+        // Free the first slot: the scratch shrinks and stays slot-ordered.
+        store.discard(a);
+        store.fidelities_at(BellState::PHI_PLUS, SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, b);
     }
 
     #[test]

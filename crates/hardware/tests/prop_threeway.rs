@@ -346,8 +346,8 @@ impl ModelSpec for ThreeWaySpec {
 
 /// Numeric agreement between the two representations of one pair.
 fn compare_pair(
-    bell: Option<&qn_hardware::Pair>,
-    dense: Option<&qn_hardware::Pair>,
+    bell: Option<qn_hardware::PairView<'_>>,
+    dense: Option<qn_hardware::PairView<'_>>,
     what: &str,
 ) -> Result<(), String> {
     let (bell, dense) = match (bell, dense) {

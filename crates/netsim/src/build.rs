@@ -3,7 +3,7 @@
 
 use crate::app::AppHarness;
 use crate::classical::{ClassicalFaults, ClassicalStats};
-use crate::runtime::{Ev, NetworkModel, RuntimeConfig};
+use crate::runtime::{CheckpointPolicy, Ev, NetworkModel, RuntimeConfig};
 use qn_net::ids::{CircuitId, RequestId};
 use qn_net::node::NodeStats;
 use qn_net::request::UserRequest;
@@ -92,6 +92,18 @@ impl NetworkBuilder {
         self
     }
 
+    /// Whole-store decoherence checkpointing. The default
+    /// ([`CheckpointPolicy::OnTouch`]) advances pairs lazily at exactly
+    /// the times operations touch them (baseline-bit-identical);
+    /// [`CheckpointPolicy::Interval`] additionally runs the slab sweep
+    /// (`PairStore::advance_all`) on a fixed period — pair sustained
+    /// open-world runs with `run_until`, since the checkpoint event
+    /// reschedules itself.
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.cfg.checkpoint = policy;
+        self
+    }
+
     /// Record a human-readable protocol trace.
     pub fn with_trace(mut self) -> Self {
         self.cfg.trace = true;
@@ -101,9 +113,14 @@ impl NetworkBuilder {
     /// Build the simulation.
     pub fn build(self) -> NetSim {
         let topology = self.topology.clone();
+        let checkpoint = self.cfg.checkpoint;
         let model = NetworkModel::new(self.topology, self.seed, self.cfg);
+        let mut sim = Simulation::new(model);
+        if let CheckpointPolicy::Interval(dt) = checkpoint {
+            sim.schedule_at(SimTime::ZERO + dt, Ev::Checkpoint);
+        }
         NetSim {
-            sim: Simulation::new(model),
+            sim,
             signaller: Signaller::new(),
             topology,
         }

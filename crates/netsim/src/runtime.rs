@@ -36,7 +36,31 @@ use qn_routing::topology::Topology;
 use qn_sim::{
     Context, EventId, LinkId, Model, NodeId, SimDuration, SimRng, SimTime, Trace, TraceKind,
 };
-use std::collections::HashMap;
+
+/// When the runtime advances decoherence across the whole pair store.
+///
+/// The default (`OnTouch`) is the lazy discipline the baselines were
+/// recorded under: each pair is advanced at exactly the `SimTime`s an
+/// operation touches it, so elapsed-time decay composes identically and
+/// `dm` trajectories stay bit-identical. `Interval` additionally runs
+/// the slab sweep ([`qn_hardware::PairStore::advance_all`]) on a fixed
+/// period — useful for sustained open-world runs where the sweep keeps
+/// idle-pair decay amortised and cache-linear. Interval checkpoints
+/// change *where* the (divisible) T1/T2 channels are cut, which agrees
+/// with the lazy path to ~1e-12 per step (pinned by
+/// `prop_decoherence_sweep.rs`) but is not bit-identical; scenarios
+/// that gate on tolerance-0 baselines record their baseline with the
+/// same policy they run under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// Advance each pair lazily, at exactly the times operations touch
+    /// it (baseline-compatible; the default).
+    OnTouch,
+    /// Lazy advancement plus a periodic whole-store sweep every
+    /// interval. The rescheduling checkpoint event keeps the queue
+    /// non-empty: run such simulations with `run_until`, not `run`.
+    Interval(SimDuration),
+}
 
 /// Runtime configuration knobs.
 #[derive(Clone, Debug)]
@@ -69,6 +93,8 @@ pub struct RuntimeConfig {
     pub carbons: usize,
     /// Disable intermediate cutoff timers (the Fig 10 oracle baseline).
     pub disable_cutoff: bool,
+    /// Whole-store decoherence checkpointing (see [`CheckpointPolicy`]).
+    pub checkpoint: CheckpointPolicy,
     /// Record a human-readable trace.
     pub trace: bool,
 }
@@ -86,6 +112,7 @@ impl Default for RuntimeConfig {
             near_term: false,
             carbons: 0,
             disable_cutoff: false,
+            checkpoint: CheckpointPolicy::OnTouch,
             trace: false,
         }
     }
@@ -198,6 +225,9 @@ pub enum Ev {
         /// The circuit to remove.
         circuit: CircuitId,
     },
+    /// Periodic whole-store decoherence sweep
+    /// ([`CheckpointPolicy::Interval`]); reschedules itself.
+    Checkpoint,
 }
 
 struct NodeRt {
@@ -235,8 +265,139 @@ struct CircuitRt {
     path: Vec<NodeId>,
     /// Fidelity target (for metrics only).
     threshold: f64,
-    /// node -> (upstream neighbour, downstream neighbour).
-    neighbours: HashMap<NodeId, (Option<NodeId>, Option<NodeId>)>,
+}
+
+impl CircuitRt {
+    /// The (upstream, downstream) neighbours of `node` on this circuit.
+    /// Paths are a handful of hops; a linear scan beats any map.
+    fn neighbours(&self, node: NodeId) -> (Option<NodeId>, Option<NodeId>) {
+        let i = self
+            .path
+            .iter()
+            .position(|n| *n == node)
+            .expect("node is on the circuit path");
+        let up = (i > 0).then(|| self.path[i - 1]);
+        let down = (i + 1 < self.path.len()).then(|| self.path[i + 1]);
+        (up, down)
+    }
+}
+
+/// Dense per-node correlator table: the runtime's `(NodeId, Correlator)
+/// -> T` maps, stored as one short row per node. A node's row holds one
+/// entry per qubit it currently has entangled — bounded by its memory
+/// size, not by circuit count — so lookups are a short linear scan and
+/// idle circuits cost nothing.
+struct NodeTable<T> {
+    rows: Vec<Vec<(Correlator, T)>>,
+}
+
+impl<T: Copy> NodeTable<T> {
+    fn new(n_nodes: usize) -> Self {
+        NodeTable {
+            rows: (0..n_nodes).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Insert or overwrite the entry for `(node, c)`.
+    fn insert(&mut self, node: NodeId, c: Correlator, value: T) {
+        let row = &mut self.rows[node.0 as usize];
+        match row.iter_mut().find(|(k, _)| *k == c) {
+            Some(entry) => entry.1 = value,
+            None => row.push((c, value)),
+        }
+    }
+
+    fn get(&self, node: NodeId, c: Correlator) -> Option<T> {
+        self.rows[node.0 as usize]
+            .iter()
+            .find(|(k, _)| *k == c)
+            .map(|(_, v)| *v)
+    }
+
+    fn remove(&mut self, node: NodeId, c: Correlator) -> Option<T> {
+        let row = &mut self.rows[node.0 as usize];
+        let i = row.iter().position(|(k, _)| *k == c)?;
+        Some(row.swap_remove(i).1)
+    }
+}
+
+/// Reverse references `pair -> (node, correlator)` views, stored
+/// slab-parallel to the [`PairStore`]: slot `i` belongs to the pair
+/// whose id currently occupies slab slot `i` (the full id bits are kept
+/// for the generation check). Vacated slots keep their `Vec` capacity
+/// for the slot's next occupant, so steady-state churn does not
+/// allocate; iteration is slot-ordered and thus deterministic.
+struct PairRefs {
+    slots: Vec<(u64, Vec<(NodeId, Correlator)>)>,
+}
+
+/// Slot id marking a vacant [`PairRefs`] entry.
+const REFS_VACANT: u64 = u64::MAX;
+
+impl PairRefs {
+    fn new() -> Self {
+        PairRefs { slots: Vec::new() }
+    }
+
+    fn slot_mut(&mut self, pid: PairId) -> &mut (u64, Vec<(NodeId, Correlator)>) {
+        let i = pid.index();
+        if self.slots.len() <= i {
+            self.slots.resize_with(i + 1, || (REFS_VACANT, Vec::new()));
+        }
+        &mut self.slots[i]
+    }
+
+    /// Register a fresh two-ended pair, reusing the slot's capacity.
+    fn insert_pair(&mut self, pid: PairId, a: (NodeId, Correlator), b: (NodeId, Correlator)) {
+        let slot = self.slot_mut(pid);
+        slot.0 = pid.0;
+        slot.1.clear();
+        slot.1.push(a);
+        slot.1.push(b);
+    }
+
+    /// Register a pair with an explicit reference list (swap re-pointing).
+    fn insert(&mut self, pid: PairId, ends: Vec<(NodeId, Correlator)>) {
+        let slot = self.slot_mut(pid);
+        slot.0 = pid.0;
+        slot.1 = ends;
+    }
+
+    fn get_mut(&mut self, pid: PairId) -> Option<&mut Vec<(NodeId, Correlator)>> {
+        let slot = self.slots.get_mut(pid.index())?;
+        (slot.0 == pid.0).then_some(&mut slot.1)
+    }
+
+    /// Vacate the pair's slot, returning its references (the slot keeps
+    /// no capacity — the caller usually re-inserts the `Vec` elsewhere).
+    fn take(&mut self, pid: PairId) -> Option<Vec<(NodeId, Correlator)>> {
+        let slot = self.slots.get_mut(pid.index())?;
+        if slot.0 != pid.0 {
+            return None;
+        }
+        slot.0 = REFS_VACANT;
+        Some(std::mem::take(&mut slot.1))
+    }
+
+    /// Vacate the pair's slot in place (keeps the `Vec` capacity for the
+    /// slot's next occupant).
+    fn remove(&mut self, pid: PairId) {
+        if let Some(slot) = self.slots.get_mut(pid.index()) {
+            if slot.0 == pid.0 {
+                slot.0 = REFS_VACANT;
+                slot.1.clear();
+            }
+        }
+    }
+
+    /// Iterate live entries in slot order (deterministic by
+    /// construction, unlike the hash map this replaced).
+    fn iter(&self) -> impl Iterator<Item = (PairId, &[(NodeId, Correlator)])> {
+        self.slots
+            .iter()
+            .filter(|(id, _)| *id != REFS_VACANT)
+            .map(|(id, ends)| (PairId(*id), ends.as_slice()))
+    }
 }
 
 /// The complete network simulation model.
@@ -248,12 +409,16 @@ pub struct NetworkModel {
     /// All live entangled pairs.
     pub pairs: PairStore,
     /// (node, correlator) -> physical pair currently holding that qubit.
-    qubit_owner: HashMap<(NodeId, Correlator), PairId>,
+    qubit_owner: NodeTable<PairId>,
     /// Reverse references: pair -> (node, correlator) views.
-    refs: HashMap<PairId, Vec<(NodeId, Correlator)>>,
-    label_map: HashMap<(LinkId, LinkLabel), LabelInfo>,
-    circuits: HashMap<u64, CircuitRt>,
-    cutoff_events: HashMap<(NodeId, Correlator), EventId>,
+    refs: PairRefs,
+    /// Per-link label table: one short row per link, scanned linearly
+    /// (a link carries a handful of circuit labels).
+    label_map: Vec<Vec<(LinkLabel, LabelInfo)>>,
+    /// Circuit runtime state indexed by `CircuitId` (ids are allocated
+    /// densely from 1 by the signaller; torn-down slots go `None`).
+    circuits: Vec<Option<CircuitRt>>,
+    cutoff_events: NodeTable<EventId>,
     /// Application observations.
     pub app: AppHarness,
     /// Trace recorder (enabled via config).
@@ -317,16 +482,17 @@ impl NetworkModel {
         let rng_nodes = (0..n_nodes)
             .map(|i| SimRng::substream_indexed(seed, "node", i as u64))
             .collect();
+        let n_links = links.len();
         NetworkModel {
             topology,
             nodes,
             links,
             pairs: PairStore::with_rep(cfg.state_rep),
-            qubit_owner: HashMap::new(),
-            refs: HashMap::new(),
-            label_map: HashMap::new(),
-            circuits: HashMap::new(),
-            cutoff_events: HashMap::new(),
+            qubit_owner: NodeTable::new(n_nodes),
+            refs: PairRefs::new(),
+            label_map: (0..n_links).map(|_| Vec::new()).collect(),
+            circuits: Vec::new(),
+            cutoff_events: NodeTable::new(n_nodes),
             app: AppHarness::default(),
             trace: if cfg.trace {
                 Trace::enabled()
@@ -361,28 +527,22 @@ impl NetworkModel {
     /// Install a circuit (signalling action): registers labels, feeds the
     /// routing entries to the nodes, and records path metadata.
     pub fn install_circuit(&mut self, installed: &InstalledCircuit) {
-        let mut neighbours = HashMap::new();
-        for (i, n) in installed.path.iter().enumerate() {
-            let up = (i > 0).then(|| installed.path[i - 1]);
-            let down = (i + 1 < installed.path.len()).then(|| installed.path[i + 1]);
-            neighbours.insert(*n, (up, down));
+        let idx = installed.circuit.0 as usize;
+        if self.circuits.len() <= idx {
+            self.circuits.resize_with(idx + 1, || None);
         }
-        self.circuits.insert(
-            installed.circuit.0,
-            CircuitRt {
-                path: installed.path.clone(),
-                threshold: installed.plan.e2e_fidelity,
-                neighbours,
-            },
-        );
+        self.circuits[idx] = Some(CircuitRt {
+            path: installed.path.clone(),
+            threshold: installed.plan.e2e_fidelity,
+        });
         for (i, (link, label)) in installed.labels.iter().enumerate() {
-            self.label_map.insert(
-                (*link, *label),
+            self.label_map[link.0 as usize].push((
+                *label,
                 LabelInfo {
                     circuit: installed.circuit,
                     upstream_node: installed.path[i],
                 },
-            );
+            ));
         }
         for (node, entry) in &installed.entries {
             let mut entry = *entry;
@@ -413,10 +573,16 @@ impl NetworkModel {
 
     /// The fidelity threshold of a circuit (for oracle baselines).
     pub fn circuit_threshold(&self, circuit: CircuitId) -> Option<f64> {
-        self.circuits.get(&circuit.0).map(|c| c.threshold)
+        self.circuit_rt(circuit).map(|c| c.threshold)
     }
 
     // ----- helpers ---------------------------------------------------
+
+    fn circuit_rt(&self, circuit: CircuitId) -> Option<&CircuitRt> {
+        self.circuits
+            .get(circuit.0 as usize)
+            .and_then(|c| c.as_ref())
+    }
 
     fn link_between(&self, a: NodeId, b: NodeId) -> LinkId {
         self.topology
@@ -426,8 +592,8 @@ impl NetworkModel {
 
     /// The link on `side` of `node` for `circuit`.
     fn side_link(&self, circuit: CircuitId, node: NodeId, side: LinkSide) -> LinkId {
-        let rt = &self.circuits[&circuit.0];
-        let (up, down) = rt.neighbours[&node];
+        let rt = self.circuit_rt(circuit).expect("circuit installed");
+        let (up, down) = rt.neighbours(node);
         let peer = match side {
             LinkSide::Upstream => up.expect("upstream link exists"),
             LinkSide::Downstream => down.expect("downstream link exists"),
@@ -443,8 +609,8 @@ impl NetworkModel {
         downstream: bool,
         msg: Message,
     ) {
-        let rt = &self.circuits[&circuit.0];
-        let (up, down) = rt.neighbours[&from];
+        let rt = self.circuit_rt(circuit).expect("circuit installed");
+        let (up, down) = rt.neighbours(from);
         let to = if downstream {
             down.expect("downstream neighbour")
         } else {
@@ -509,10 +675,10 @@ impl NetworkModel {
         correlator: Correlator,
         reinitialise: bool,
     ) {
-        let Some(pid) = self.qubit_owner.remove(&(node, correlator)) else {
+        let Some(pid) = self.qubit_owner.remove(node, correlator) else {
             return;
         };
-        if let Some(refs) = self.refs.get_mut(&pid) {
+        if let Some(refs) = self.refs.get_mut(pid) {
             refs.retain(|(n, c)| !(*n == node && *c == correlator));
             let empty = refs.is_empty();
             // Free the local slot.
@@ -523,7 +689,7 @@ impl NetworkModel {
                 }
             }
             if empty {
-                self.refs.remove(&pid);
+                self.refs.remove(pid);
                 self.pairs.discard(pid);
             } else if reinitialise {
                 // Full depolarisation of the abandoned end: dephase,
@@ -622,10 +788,10 @@ impl NetworkModel {
             node_b: pair.id.node_b,
             seq: pair.id.seq,
         };
-        self.qubit_owner.insert((na, correlator), pid);
-        self.qubit_owner.insert((nb, correlator), pid);
+        self.qubit_owner.insert(na, correlator, pid);
+        self.qubit_owner.insert(nb, correlator, pid);
         self.refs
-            .insert(pid, vec![(na, correlator), (nb, correlator)]);
+            .insert_pair(pid, (na, correlator), (nb, correlator));
         self.trace.record(
             ctx.now(),
             TraceKind::LinkPair,
@@ -644,11 +810,15 @@ impl NetworkModel {
             .nuclear_dephasing_per_attempt(inflight.alpha);
         if lambda_per > 0.0 {
             for node in [na, nb] {
+                // Slot-ordered scan: deterministic, unlike the hash map
+                // iteration this replaced (the dephasing applications
+                // commute, but observable order must never depend on
+                // hasher state).
                 let victims: Vec<PairId> = self
                     .refs
                     .iter()
-                    .filter(|(p, ends)| **p != pid && ends.iter().any(|(n, _)| *n == node))
-                    .map(|(p, _)| *p)
+                    .filter(|(p, ends)| *p != pid && ends.iter().any(|(n, _)| *n == node))
+                    .map(|(p, _)| p)
                     .collect();
                 // Coherence decays per attempt: λ_total = (1−(1−2λ)^k)/2.
                 let lambda_total = 0.5
@@ -660,7 +830,11 @@ impl NetworkModel {
         }
 
         // Route the pair to the two QNP instances.
-        let Some(info) = self.label_map.get(&(link, pair.label)) else {
+        let Some(info) = self.label_map[link.0 as usize]
+            .iter()
+            .find(|(l, _)| *l == pair.label)
+            .map(|(_, info)| info)
+        else {
             // Label no longer mapped (circuit torn down): free everything.
             self.release_end(ctx, na, correlator, false);
             self.release_end(ctx, nb, correlator, false);
@@ -685,8 +859,8 @@ impl NetworkModel {
             // before the shared electron frees up; the network layer
             // learns of the pair once it is safely stored.
             let is_intermediate = {
-                let rt = &self.circuits[&circuit.0];
-                let (u, d) = rt.neighbours[&node];
+                let rt = self.circuit_rt(circuit).expect("circuit installed");
+                let (u, d) = rt.neighbours(node);
                 u.is_some() && d.is_some()
             };
             if self.cfg.near_term && is_intermediate {
@@ -859,8 +1033,8 @@ impl NetworkModel {
                     self.poll_link(ctx, link);
                 }
                 NetOutput::StartSwap { up, down } => {
-                    debug_assert!(self.qubit_owner.contains_key(&(node, up.correlator)));
-                    debug_assert!(self.qubit_owner.contains_key(&(node, down.correlator)));
+                    debug_assert!(self.qubit_owner.get(node, up.correlator).is_some());
+                    debug_assert!(self.qubit_owner.get(node, down.correlator).is_some());
                     let params = self.nodes[node.0 as usize].device.params();
                     let dur = params.gates.two_qubit.duration
                         + params.gates.electron_single.duration
@@ -894,10 +1068,10 @@ impl NetworkModel {
                             correlator: pair.correlator,
                         },
                     );
-                    self.cutoff_events.insert((node, pair.correlator), ev);
+                    self.cutoff_events.insert(node, pair.correlator, ev);
                 }
                 NetOutput::CancelCutoff { pair } => {
-                    if let Some(ev) = self.cutoff_events.remove(&(node, pair.correlator)) {
+                    if let Some(ev) = self.cutoff_events.remove(node, pair.correlator) {
                         ctx.cancel(ev);
                     }
                 }
@@ -925,8 +1099,8 @@ impl NetworkModel {
                     );
                 }
                 NetOutput::ApplyCorrection { pair, pauli } => {
-                    if let Some(pid) = self.qubit_owner.get(&(node, pair.correlator)) {
-                        self.pairs.apply_pauli(*pid, node, pauli, ctx.now());
+                    if let Some(pid) = self.qubit_owner.get(node, pair.correlator) {
+                        self.pairs.apply_pauli(pid, node, pauli, ctx.now());
                         self.trace.record(
                             ctx.now(),
                             TraceKind::Quantum,
@@ -965,7 +1139,7 @@ impl NetworkModel {
             // requests the tail can deliver before the head's physical
             // correction lands — transiently "inconsistent" by design.
             DeliveryKind::Qubit { pair, state } | DeliveryKind::EarlyTracking { pair, state } => {
-                let pid = self.qubit_owner.get(&(node, pair.correlator)).copied();
+                let pid = self.qubit_owner.get(node, pair.correlator);
                 match pid {
                     Some(pid) => {
                         let omniscient = self.pairs.get(pid).map(|p| p.announced);
@@ -1028,8 +1202,8 @@ impl NetworkModel {
         // Resolve the correlators to the pairs *currently* holding the
         // local qubits (a neighbour's swap may have re-pointed them).
         let (Some(up_pid), Some(down_pid)) = (
-            self.qubit_owner.get(&(node, up)).copied(),
-            self.qubit_owner.get(&(node, down)).copied(),
+            self.qubit_owner.get(node, up),
+            self.qubit_owner.get(node, down),
         ) else {
             // Circuit torn down mid-swap; the SM state went with it.
             return;
@@ -1047,13 +1221,13 @@ impl NetworkModel {
         // Re-point surviving references to the joined pair.
         let mut new_refs = Vec::with_capacity(2);
         for (old_pid, consumed_corr) in [(up_pid, up), (down_pid, down)] {
-            self.qubit_owner.remove(&(node, consumed_corr));
-            if let Some(old) = self.refs.remove(&old_pid) {
+            self.qubit_owner.remove(node, consumed_corr);
+            if let Some(old) = self.refs.take(old_pid) {
                 for (n, c) in old {
                     if n == node && c == consumed_corr {
                         continue;
                     }
-                    self.qubit_owner.insert((n, c), res.new_pair);
+                    self.qubit_owner.insert(n, c, res.new_pair);
                     new_refs.push((n, c));
                 }
             }
@@ -1087,7 +1261,7 @@ impl NetworkModel {
     /// releases pairs; the label mapping is removed so in-flight link
     /// generations for the circuit are dropped at delivery.
     fn teardown(&mut self, ctx: &mut Context<'_, Ev>, circuit: CircuitId) {
-        let Some(rt) = self.circuits.get(&circuit.0) else {
+        let Some(rt) = self.circuit_rt(circuit) else {
             return;
         };
         let path = rt.path.clone();
@@ -1107,8 +1281,10 @@ impl NetworkModel {
                 .handle(NetInput::TeardownCircuit { circuit });
             self.process_outputs(ctx, node, circuit, outs);
         }
-        self.label_map.retain(|_, info| info.circuit != circuit);
-        self.circuits.remove(&circuit.0);
+        for row in &mut self.label_map {
+            row.retain(|(_, info)| info.circuit != circuit);
+        }
+        self.circuits[circuit.0 as usize] = None;
         self.trace.record(
             ctx.now(),
             TraceKind::Info,
@@ -1125,7 +1301,7 @@ impl NetworkModel {
         correlator: Correlator,
         basis: Pauli,
     ) {
-        let Some(pid) = self.qubit_owner.get(&(node, correlator)).copied() else {
+        let Some(pid) = self.qubit_owner.get(node, correlator) else {
             return;
         };
         let readout = self.nodes[node.0 as usize].device.params().gates.readout;
@@ -1147,11 +1323,11 @@ impl NetworkModel {
                 self.nodes[node.0 as usize].device.free(qubit);
             }
         }
-        self.qubit_owner.remove(&(node, correlator));
-        if let Some(refs) = self.refs.get_mut(&pid) {
+        self.qubit_owner.remove(node, correlator);
+        if let Some(refs) = self.refs.get_mut(pid) {
             refs.retain(|(n, c)| !(*n == node && *c == correlator));
             if refs.is_empty() {
-                self.refs.remove(&pid);
+                self.refs.remove(pid);
                 self.pairs.discard(pid);
             }
         }
@@ -1242,7 +1418,7 @@ impl Model for NetworkModel {
                 side,
                 correlator,
             } => {
-                self.cutoff_events.remove(&(node, correlator));
+                self.cutoff_events.remove(node, correlator);
                 let outs = self.nodes[node.0 as usize]
                     .qnp
                     .handle(NetInput::CutoffExpired {
@@ -1262,7 +1438,7 @@ impl Model for NetworkModel {
                 info,
             } => self.move_done(ctx, node, pair, storage, circuit, side, info),
             Ev::SubmitRequest { circuit, request } => {
-                let head = self.circuits[&circuit.0].path[0];
+                let head = self.circuit_rt(circuit).expect("circuit installed").path[0];
                 self.app.submitted.insert((circuit, request.id), ctx.now());
                 let outs = self.nodes[head.0 as usize]
                     .qnp
@@ -1270,13 +1446,19 @@ impl Model for NetworkModel {
                 self.process_outputs(ctx, head, circuit, outs);
             }
             Ev::CancelRequest { circuit, request } => {
-                let head = self.circuits[&circuit.0].path[0];
+                let head = self.circuit_rt(circuit).expect("circuit installed").path[0];
                 let outs = self.nodes[head.0 as usize]
                     .qnp
                     .handle(NetInput::CancelRequest { circuit, request });
                 self.process_outputs(ctx, head, circuit, outs);
             }
             Ev::Teardown { circuit } => self.teardown(ctx, circuit),
+            Ev::Checkpoint => {
+                self.pairs.advance_all(now);
+                if let CheckpointPolicy::Interval(dt) = self.cfg.checkpoint {
+                    ctx.schedule_in(dt, Ev::Checkpoint);
+                }
+            }
         }
     }
 }

@@ -29,6 +29,6 @@ pub use budget::CutoffPolicy;
 pub use controller::{CircuitPlan, Controller, PlanError};
 pub use signalling::{InstalledCircuit, Signaller};
 pub use topology::{
-    chain, dumbbell, ring, wide_dumbbell, Dumbbell, LinkSpec, Topology, WideDumbbell,
+    chain, dumbbell, grid, ring, wide_dumbbell, Dumbbell, LinkSpec, Topology, WideDumbbell,
 };
 pub use wire::{SignalMessage, SignalMessageView};

@@ -228,6 +228,31 @@ pub fn chain(n: usize, params: HardwareParams, fibre: FibreParams) -> Topology {
     t
 }
 
+/// Build a `w × h` grid of nodes with identical links. Node ids are
+/// row-major (`NodeId(y * w + x)`), dense from 0 — a requirement of the
+/// runtime's per-node dense tables — with links to the right and down
+/// neighbours. Grids give the open-world workload engine a topology
+/// with genuine path diversity and interior routers that serve four
+/// links at once.
+pub fn grid(w: usize, h: usize, params: HardwareParams, fibre: FibreParams) -> Topology {
+    assert!(w >= 1 && h >= 1, "a grid needs at least one node");
+    assert!(w * h >= 2, "a grid needs at least one link");
+    let mut t = Topology::new();
+    let phys = LinkPhysics::new(params, fibre);
+    let id = |x: usize, y: usize| NodeId((y * w + x) as u32);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                t.add_link(id(x, y), id(x + 1, y), phys.clone());
+            }
+            if y + 1 < h {
+                t.add_link(id(x, y), id(x, y + 1), phys.clone());
+            }
+        }
+    }
+    t
+}
+
 /// Build a ring of `n` nodes with identical links — a topology with
 /// genuine path choices (the shortest-path computation has to pick a
 /// direction, and antipodal nodes have two equal-length candidates).
@@ -328,6 +353,31 @@ mod tests {
             let path = t.shortest_path(a, b).unwrap();
             assert_eq!(path, vec![a, w.ma, w.mb, b]);
         }
+    }
+
+    #[test]
+    fn grid_shape_and_paths() {
+        let (p, f) = lab();
+        let t = grid(3, 3, p, f);
+        assert_eq!(t.nodes().len(), 9);
+        // 2 * w * h - w - h internal links.
+        assert_eq!(t.links().len(), 12);
+        // Node ids are dense row-major: every id in 0..9 appears.
+        assert_eq!(
+            t.nodes(),
+            (0..9).map(NodeId).collect::<Vec<_>>(),
+            "grid ids must be dense from 0 (runtime tables assume it)"
+        );
+        // Corner to corner is a 4-hop manhattan walk.
+        let path = t.shortest_path(NodeId(0), NodeId(8)).unwrap();
+        assert_eq!(path.len(), 5);
+        // The centre serves four links.
+        assert_eq!(t.links_of(NodeId(4)).len(), 4);
+        // Degenerate 1 x n grid is a chain.
+        let (p, f) = lab();
+        let t = grid(1, 4, p, f);
+        assert_eq!(t.links().len(), 3);
+        assert_eq!(t.shortest_path(NodeId(0), NodeId(3)).unwrap().len(), 4);
     }
 
     #[test]

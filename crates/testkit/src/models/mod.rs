@@ -1,11 +1,13 @@
 //! Ready-made [`crate::ModelSpec`] implementations for the subsystems
 //! the QNP's correctness argument leans on: the simulator's event queue
-//! (`qn_sim`), the link-layer protocol state machine (`qn_link`), the
-//! network layer's demultiplexer and routing table (`qn_net`), and the
-//! end-to-end netsim runtime (`qn_netsim`).
+//! (`qn_sim`), the generational pair slab (`qn_hardware`), the
+//! link-layer protocol state machine (`qn_link`), the network layer's
+//! demultiplexer and routing table (`qn_net`), and the end-to-end
+//! netsim runtime (`qn_netsim`).
 
 pub mod demux;
 pub mod link;
 pub mod netsim;
 pub mod queue;
 pub mod routing;
+pub mod slab;

@@ -7,6 +7,7 @@ use qn_testkit::models::demux::DemuxSpec;
 use qn_testkit::models::link::{LinkFault, LinkOp, LinkSpec};
 use qn_testkit::models::queue::QueueSpec;
 use qn_testkit::models::routing::RoutingSpec;
+use qn_testkit::models::slab::SlabSpec;
 use qn_testkit::{run_ops, ModelFailure, ModelSpec, ModelTest};
 
 /// Every op-drop from a reported minimal sequence must make the model
@@ -188,7 +189,7 @@ fn panicking_systems_shrink_to_minimal_sequences() {
     assert_eq!(failure.minimal, vec![0, 0, 0], "ops shrink to minimum too");
 }
 
-/// The three reference models themselves hold against the real
+/// The reference models themselves hold against the real
 /// implementations (the faithful direction of every meta-test above).
 #[test]
 fn all_reference_models_agree_with_their_systems() {
@@ -201,4 +202,5 @@ fn all_reference_models_agree_with_their_systems() {
     ModelTest::new("meta_routing_model", RoutingSpec)
         .cases(64)
         .run();
+    ModelTest::new("meta_slab_model", SlabSpec).cases(64).run();
 }
