@@ -27,7 +27,11 @@ pub struct Fig9Point {
 /// same window.
 pub fn fig9_scenario(seed: u64, congested: bool, interval: SimDuration) -> Fig9Point {
     let (topology, d) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
-    let mut sim = NetworkBuilder::new(topology).seed(seed).build();
+    let mut builder = NetworkBuilder::new(topology).seed(seed);
+    if crate::sweep::wire_on() {
+        builder = builder.signalling_on_wire();
+    }
+    let mut sim = builder.build();
     let fidelity = 0.9;
     let vc = sim
         .open_circuit(d.a0, d.b0, fidelity, CutoffPolicy::short())

@@ -38,6 +38,15 @@ pub fn pairs(default: u64) -> u64 {
     env_u64("QNP_PAIRS", default)
 }
 
+/// `QNP_WIRE` — run wire-aware scenarios with `signalling_on_wire`
+/// (link announcements + routing INSTALL/TEARDOWN as classical-plane
+/// frames, acked and retransmitted). Off by default: the committed
+/// baselines pin the idealised planes, so a `QNP_WIRE=1` run is
+/// informational and must not be diffed against them.
+pub fn wire_on() -> bool {
+    env_u64("QNP_WIRE", 0) != 0
+}
+
 /// The consecutive seed block `base..base + n` every figure sweeps over.
 pub fn seed_block(base: u64, n: u64) -> Vec<u64> {
     (base..base + n).collect()

@@ -102,6 +102,19 @@ pub enum NetInput {
         /// The pair's correlator at this end-node.
         correlator: Correlator,
     },
+    /// The runtime reclaimed a link qubit whose pair announcement never
+    /// arrived (a PAIR_READY lost on a faulty wire): the correlator will
+    /// never be delivered at this node. The QNP marks it expired so any
+    /// held or future TRACK referencing it bounces an EXPIRE back to the
+    /// chain's origin instead of waiting for the origin's own timeout.
+    LinkOrphaned {
+        /// The circuit the lost pair belonged to.
+        circuit: CircuitId,
+        /// Which of the node's links produced it.
+        side: LinkSide,
+        /// The never-announced pair's correlator.
+        correlator: Correlator,
+    },
     /// A cutoff timer set via [`NetOutput::SetCutoff`] fired.
     CutoffExpired {
         /// The circuit of the expired pair.
@@ -125,6 +138,7 @@ impl NetInput {
             | NetInput::SwapCompleted { circuit, .. }
             | NetInput::MeasureCompleted { circuit, .. }
             | NetInput::TrackTimeout { circuit, .. }
+            | NetInput::LinkOrphaned { circuit, .. }
             | NetInput::CutoffExpired { circuit, .. } => *circuit,
             NetInput::Message { msg, .. } => msg.circuit(),
         }
@@ -306,6 +320,14 @@ pub enum NetOutput {
     Deliver(Delivery),
     /// Notify the application of a request lifecycle event.
     Notify(AppEvent),
+    /// A TRACK_ACK for a chain this end-node originated reached it: the
+    /// runtime may disarm any retransmit timer keyed on `origin`.
+    /// Emitted only on retransmitting runtimes; a stray ack (corrupted
+    /// or already-satisfied) is a silent no-op.
+    TrackAcked {
+        /// Correlator of the origin link-pair from the acknowledged TRACK.
+        origin: Correlator,
+    },
 }
 
 #[cfg(test)]

@@ -85,6 +85,21 @@ pub struct Expire {
     pub origin: Correlator,
 }
 
+/// TRACK_ACK: end-to-end acknowledgement of a TRACK, sent by the
+/// consuming end-node back towards the TRACK's origin. Only used when
+/// the runtime retransmits TRACKs over a lossy plane (the paper's
+/// reliable transport never needs it): receipt cancels the origin's
+/// retransmit timer. Duplicated TRACKs are re-acknowledged so a lost
+/// ack is recovered by the next retry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrackAck {
+    /// Circuit of the acknowledged chain.
+    pub circuit: CircuitId,
+    /// Correlator of the link-pair at the origin end-node (copied from
+    /// the TRACK message).
+    pub origin: Correlator,
+}
+
 /// Any QNP message.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Message {
@@ -96,6 +111,9 @@ pub enum Message {
     Track(Track),
     /// Broken-chain notification (towards a TRACK's origin).
     Expire(Expire),
+    /// TRACK acknowledgement (towards the TRACK's origin; retransmitting
+    /// runtimes only).
+    TrackAck(TrackAck),
 }
 
 impl Message {
@@ -106,6 +124,7 @@ impl Message {
             Message::Complete(m) => m.circuit,
             Message::Track(m) => m.circuit,
             Message::Expire(m) => m.circuit,
+            Message::TrackAck(m) => m.circuit,
         }
     }
 
@@ -116,6 +135,7 @@ impl Message {
             Message::Complete(_) => "COMPLETE",
             Message::Track(_) => "TRACK",
             Message::Expire(_) => "EXPIRE",
+            Message::TrackAck(_) => "TRACK_ACK",
         }
     }
 }

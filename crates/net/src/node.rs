@@ -52,18 +52,48 @@ impl<T: Eq + Hash + Copy> BoundedSet<T> {
         }
     }
 
-    /// Remove `v`, reporting whether it was present. The eviction order
-    /// keeps a stale entry, so re-inserting a removed key can evict it
-    /// earlier than `cap` inserts later — safe for these best-effort
-    /// record books (every lookup tolerates absence), and the keys in
-    /// use (pair correlators) are never re-inserted anyway.
-    pub fn remove(&mut self, v: &T) -> bool {
-        self.set.remove(v)
-    }
-
     /// Membership test.
     pub fn contains(&self, v: &T) -> bool {
         self.set.contains(v)
+    }
+}
+
+/// A map remembering (at most) the `cap` most recently inserted keys,
+/// evicting oldest-first: the repeater's relayed-TRACK memory, which a
+/// duplicating classical plane would otherwise grow without limit.
+#[derive(Debug)]
+pub(crate) struct BoundedMap<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Copy, V> BoundedMap<K, V> {
+    pub fn new(cap: usize) -> Self {
+        BoundedMap {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Insert `k → v`, evicting the oldest keys beyond capacity. An
+    /// existing key is overwritten in place (its eviction slot stays).
+    pub fn insert(&mut self, k: K, v: V) {
+        if self.map.insert(k, v).is_some() {
+            return;
+        }
+        self.order.push_back(k);
+        while self.order.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, k: &K) -> Option<&V> {
+        self.map.get(k)
     }
 }
 
@@ -182,9 +212,17 @@ pub(crate) struct MidState {
     pub up_record: HashMap<Correlator, SwapRecord>,
     pub down_record: HashMap<Correlator, SwapRecord>,
     /// Discard records (paper: "temporary discard record") for qubits
-    /// dropped by the cutoff before their TRACK arrived.
-    pub up_expired: HashSet<Correlator>,
-    pub down_expired: HashSet<Correlator>,
+    /// dropped by the cutoff before their TRACK arrived. Kept (bounded)
+    /// after the first matching TRACK so a duplicated TRACK re-bounces
+    /// the EXPIRE instead of parking forever.
+    pub up_expired: BoundedSet<Correlator>,
+    pub down_expired: BoundedSet<Correlator>,
+    /// Rewritten TRACKs this repeater already forwarded, keyed by the
+    /// incoming `link` correlator: a duplicated TRACK (retransmission
+    /// racing the ack, or a duplication fault) finds its swap record
+    /// consumed, so the stored copy is re-forwarded verbatim.
+    pub up_relayed: BoundedMap<Correlator, Track>,
+    pub down_relayed: BoundedMap<Correlator, Track>,
     /// Requests currently active on the circuit (from FORWARD/COMPLETE).
     pub active_requests: u64,
     /// Request ids currently counted in `active_requests` — lets a
@@ -207,8 +245,10 @@ impl Default for MidState {
             down_track: HashMap::new(),
             up_record: HashMap::new(),
             down_record: HashMap::new(),
-            up_expired: HashSet::new(),
-            down_expired: HashSet::new(),
+            up_expired: BoundedSet::new(1024),
+            down_expired: BoundedSet::new(1024),
+            up_relayed: BoundedMap::new(1024),
+            down_relayed: BoundedMap::new(1024),
             active_requests: 0,
             counted_requests: HashSet::new(),
             retired_requests: BoundedSet::new(1024),
@@ -254,6 +294,9 @@ pub struct NodeStats {
     pub expired_in_transit: u64,
     /// Messages for circuits not installed at this node.
     pub unknown_circuit: u64,
+    /// Duplicated TRACKs a repeater re-relayed from its bounded
+    /// relayed-TRACK memory (retransmissions racing their ack).
+    pub duplicate_tracks_relayed: u64,
 }
 
 impl NodeStats {
@@ -266,6 +309,7 @@ impl NodeStats {
         self.stale_expires += other.stale_expires;
         self.expired_in_transit += other.expired_in_transit;
         self.unknown_circuit += other.unknown_circuit;
+        self.duplicate_tracks_relayed += other.duplicate_tracks_relayed;
     }
 
     /// Total anomalies absorbed.
@@ -277,6 +321,7 @@ impl NodeStats {
             + self.stale_expires
             + self.expired_in_transit
             + self.unknown_circuit
+            + self.duplicate_tracks_relayed
     }
 }
 
@@ -443,6 +488,22 @@ impl QnpNode {
                     }
                 }
             }
+            NetInput::LinkOrphaned {
+                circuit,
+                side,
+                correlator,
+            } => {
+                if let Some(c) = self.circuits.get_mut(&circuit.0) {
+                    match &mut c.state {
+                        CircuitState::Endpoint(_) => {
+                            crate::rules::endpoint::link_orphaned(c, correlator)
+                        }
+                        CircuitState::Mid(_) => {
+                            crate::rules::repeater::link_orphaned(c, side, correlator, &mut out)
+                        }
+                    }
+                }
+            }
             NetInput::CutoffExpired {
                 circuit,
                 side,
@@ -454,6 +515,36 @@ impl QnpNode {
             }
         }
         out
+    }
+
+    /// Whether an end-node still holds `correlator` unconfirmed (in
+    /// transit between link delivery and TRACK/EXPIRE). Retransmitting
+    /// runtimes use this to stop retrying a chain that already resolved.
+    pub fn holds_in_transit(&self, circuit: CircuitId, correlator: Correlator) -> bool {
+        match self.circuits.get(&circuit.0).map(|c| &c.state) {
+            Some(CircuitState::Endpoint(ep)) => ep.in_transit.contains_key(&correlator),
+            _ => false,
+        }
+    }
+
+    /// Whether this node's protocol state references the link pair at
+    /// all: in transit at an end-node, or queued/swapping at a repeater.
+    /// A runtime whose PAIR_READY notifications can be lost in flight
+    /// uses this to tell an orphaned physical qubit (the protocol never
+    /// learned of it — nothing will ever free it) from one the protocol
+    /// is still working on.
+    pub fn knows_pair(&self, circuit: CircuitId, correlator: Correlator) -> bool {
+        match self.circuits.get(&circuit.0).map(|c| &c.state) {
+            Some(CircuitState::Endpoint(ep)) => ep.in_transit.contains_key(&correlator),
+            Some(CircuitState::Mid(m)) => {
+                m.up_queue.iter().any(|p| p.pair.correlator == correlator)
+                    || m.down_queue.iter().any(|p| p.pair.correlator == correlator)
+                    || m.swapping.as_ref().is_some_and(|(a, b)| {
+                        a.pair.correlator == correlator || b.pair.correlator == correlator
+                    })
+            }
+            None => false,
+        }
     }
 
     /// Test/diagnostic access: number of in-transit pairs at an end-node.

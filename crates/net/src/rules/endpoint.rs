@@ -394,8 +394,10 @@ pub(crate) fn track_rule(
     let Some(it) = ep.in_transit.remove(&track.link) else {
         // No in-transit entry. If we discarded this pair unassigned, the
         // chain is broken: bounce an EXPIRE back so the peer frees its
-        // qubit (mirrors the repeater's discard-record rule).
-        if ep.discard_records.remove(&track.link) {
+        // qubit (mirrors the repeater's discard-record rule). The record
+        // is kept (bounded) so a duplicated TRACK re-bounces the EXPIRE
+        // — a lost EXPIRE is then recovered by the next retransmission.
+        if ep.discard_records.contains(&track.link) {
             out.push(send_along(
                 ep.is_head,
                 Message::Expire(crate::messages::Expire {
@@ -723,6 +725,15 @@ pub(crate) fn track_timeout(
         out.push(NetOutput::DiscardPair { pair: it.pair });
     }
     ep.discard_records.insert(correlator);
+}
+
+/// The runtime reclaimed an end-node link qubit whose pair announcement
+/// was lost on the wire: the QNP never saw the pair, so there is no
+/// state to unwind — just log a discard record so the peer's TRACK for
+/// this chain draws an EXPIRE instead of leaking the peer's qubit until
+/// its own timeout.
+pub(crate) fn link_orphaned(c: &mut Circuit, correlator: Correlator) {
+    ep(c).discard_records.insert(correlator);
 }
 
 /// FORWARD at the tail-end: learn the new request.

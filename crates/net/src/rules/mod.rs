@@ -44,8 +44,13 @@ pub(crate) fn dispatch_message(
         (CircuitState::Endpoint(_), Message::Complete(m)) => {
             endpoint::on_complete(c, m, out, stats);
         }
+        (CircuitState::Endpoint(_), Message::TrackAck(a)) => {
+            // Consumed at the origin end-node: let the runtime disarm
+            // its retransmit timer. Stray acks no-op there.
+            out.push(NetOutput::TrackAcked { origin: a.origin });
+        }
         (CircuitState::Mid(_), Message::Track(t)) => {
-            repeater::track_rule(c, from_upstream, t, out);
+            repeater::track_rule(c, from_upstream, t, out, stats);
         }
         (CircuitState::Mid(_), Message::Expire(e)) => {
             // Intermediate nodes relay EXPIRE along the circuit towards
@@ -61,6 +66,15 @@ pub(crate) fn dispatch_message(
         }
         (CircuitState::Mid(_), Message::Complete(m)) => {
             repeater::on_complete(c, m, out, stats);
+        }
+        (CircuitState::Mid(_), Message::TrackAck(a)) => {
+            // Relay in the direction of travel, like EXPIRE: towards the
+            // acknowledged TRACK's origin end-node.
+            if from_upstream {
+                out.push(NetOutput::SendDownstream(Message::TrackAck(a)));
+            } else {
+                out.push(NetOutput::SendUpstream(Message::TrackAck(a)));
+            }
         }
     }
 }

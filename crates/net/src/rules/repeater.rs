@@ -91,6 +91,7 @@ pub(crate) fn swap_completed(
     if let Some(mut track) = m.up_track.remove(&up) {
         track.link = down_pair.pair.correlator;
         track.outcome_state = track.outcome_state.combine(down_pair.announced, outcome);
+        m.up_relayed.insert(up, track);
         out.push(NetOutput::SendDownstream(Message::Track(track)));
     } else {
         m.up_record.insert(
@@ -106,6 +107,7 @@ pub(crate) fn swap_completed(
     if let Some(mut track) = m.down_track.remove(&down) {
         track.link = up_pair.pair.correlator;
         track.outcome_state = track.outcome_state.combine(up_pair.announced, outcome);
+        m.down_relayed.insert(down, track);
         out.push(NetOutput::SendUpstream(Message::Track(track)));
     } else {
         m.down_record.insert(
@@ -121,23 +123,36 @@ pub(crate) fn swap_completed(
 }
 
 /// TRACK rule (Algorithm 8).
+///
+/// Duplicated TRACKs (retransmissions racing their ack, or a
+/// duplication fault) find their swap record already consumed; the
+/// bounded relayed-TRACK memory re-forwards the stored rewritten copy
+/// so the duplicate still reaches the far end (which absorbs or
+/// re-acks it). Discard records are likewise *kept* after the first
+/// match so every duplicate re-bounces the EXPIRE.
 pub(crate) fn track_rule(
     c: &mut Circuit,
     from_upstream: bool,
     mut track: Track,
     out: &mut Vec<NetOutput>,
+    stats: &mut NodeStats,
 ) {
     let m = mid(c);
     if from_upstream {
         // Head-originated TRACK travelling downstream; keyed by our
         // upstream-link pair.
         if let Some(rec) = m.up_record.remove(&track.link) {
+            let key = track.link;
             track.link = rec.other.pair.correlator;
             track.outcome_state = track
                 .outcome_state
                 .combine(rec.other.announced, rec.outcome);
+            m.up_relayed.insert(key, track);
             out.push(NetOutput::SendDownstream(Message::Track(track)));
-        } else if m.up_expired.remove(&track.link) {
+        } else if let Some(fwd) = m.up_relayed.get(&track.link) {
+            stats.duplicate_tracks_relayed += 1;
+            out.push(NetOutput::SendDownstream(Message::Track(*fwd)));
+        } else if m.up_expired.contains(&track.link) {
             out.push(NetOutput::SendUpstream(Message::Expire(Expire {
                 circuit: track.circuit,
                 origin: track.origin,
@@ -149,12 +164,17 @@ pub(crate) fn track_rule(
         // Tail-originated TRACK travelling upstream; keyed by our
         // downstream-link pair.
         if let Some(rec) = m.down_record.remove(&track.link) {
+            let key = track.link;
             track.link = rec.other.pair.correlator;
             track.outcome_state = track
                 .outcome_state
                 .combine(rec.other.announced, rec.outcome);
+            m.down_relayed.insert(key, track);
             out.push(NetOutput::SendUpstream(Message::Track(track)));
-        } else if m.down_expired.remove(&track.link) {
+        } else if let Some(fwd) = m.down_relayed.get(&track.link) {
+            stats.duplicate_tracks_relayed += 1;
+            out.push(NetOutput::SendUpstream(Message::Track(*fwd)));
+        } else if m.down_expired.contains(&track.link) {
             out.push(NetOutput::SendDownstream(Message::Expire(Expire {
                 circuit: track.circuit,
                 origin: track.origin,
@@ -187,6 +207,9 @@ pub(crate) fn cutoff_expired(
     let pending = queue.remove(pos).expect("indexed");
     out.push(NetOutput::DiscardPair { pair: pending.pair });
 
+    // The correlator is recorded as expired in *both* arms: a
+    // retransmitted TRACK arriving after the bounce must draw a fresh
+    // EXPIRE (recovering a lost one), not be held forever.
     match side {
         LinkSide::Upstream => {
             if let Some(track) = m.up_track.remove(&correlator) {
@@ -194,9 +217,8 @@ pub(crate) fn cutoff_expired(
                     circuit,
                     origin: track.origin,
                 })));
-            } else {
-                m.up_expired.insert(correlator);
             }
+            m.up_expired.insert(correlator);
         }
         LinkSide::Downstream => {
             if let Some(track) = m.down_track.remove(&correlator) {
@@ -204,9 +226,43 @@ pub(crate) fn cutoff_expired(
                     circuit,
                     origin: track.origin,
                 })));
-            } else {
-                m.down_expired.insert(correlator);
             }
+            m.down_expired.insert(correlator);
+        }
+    }
+}
+
+/// The runtime reclaimed a link qubit whose announcement never arrived
+/// (`signalling_on_wire` + losses): the correlator is dead at this node.
+/// Bounce an EXPIRE for any TRACK already held for it, and mark it
+/// expired so later (retransmitted) TRACKs bounce too — otherwise the
+/// chain's origin end-node sits on its qubit until its own timeout.
+pub(crate) fn link_orphaned(
+    c: &mut Circuit,
+    side: LinkSide,
+    correlator: Correlator,
+    out: &mut Vec<NetOutput>,
+) {
+    let circuit = c.entry.circuit;
+    let m = mid(c);
+    match side {
+        LinkSide::Upstream => {
+            if let Some(track) = m.up_track.remove(&correlator) {
+                out.push(NetOutput::SendUpstream(Message::Expire(Expire {
+                    circuit,
+                    origin: track.origin,
+                })));
+            }
+            m.up_expired.insert(correlator);
+        }
+        LinkSide::Downstream => {
+            if let Some(track) = m.down_track.remove(&correlator) {
+                out.push(NetOutput::SendDownstream(Message::Expire(Expire {
+                    circuit,
+                    origin: track.origin,
+                })));
+            }
+            m.down_expired.insert(correlator);
         }
     }
 }

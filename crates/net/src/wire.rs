@@ -22,9 +22,9 @@
 //!
 //! | range | plane | kinds |
 //! |---|---|---|
-//! | `0x01..=0x04` | QNP data plane ([`Message`]) | FORWARD, COMPLETE, TRACK, EXPIRE |
+//! | `0x01..=0x05` | QNP data plane ([`Message`]) | FORWARD, COMPLETE, TRACK, EXPIRE, TRACK_ACK |
 //! | `0x10..=0x12` | link layer lifecycle ([`LinkEvent`]) | PAIR_READY, REQUEST_DONE, REJECTED |
-//! | `0x20..=0x21` | routing signalling (`qn_routing::wire`) | INSTALL, TEARDOWN |
+//! | `0x20..=0x23` | routing signalling (`qn_routing::wire`) | INSTALL, TEARDOWN, INSTALL_ACK, TEARDOWN_ACK |
 //! | `0x30` | transport framing | BATCH (coalesced length-prefixed frames) |
 //!
 //! ## Zero-copy views and batch frames
@@ -54,7 +54,7 @@
 //!   extra payload.
 
 use crate::ids::{CircuitId, Epoch, RequestId};
-use crate::messages::{Complete, Expire, Forward, Message, Track};
+use crate::messages::{Complete, Expire, Forward, Message, Track, TrackAck};
 use crate::request::RequestType;
 use crate::routing_table::{DownstreamHop, RoutingEntry, UpstreamHop};
 use qn_link::{EntanglementId, LinkEvent, LinkLabel, LinkPair, RejectReason};
@@ -75,6 +75,8 @@ pub const KIND_COMPLETE: u8 = 0x02;
 pub const KIND_TRACK: u8 = 0x03;
 /// Kind byte of an EXPIRE frame.
 pub const KIND_EXPIRE: u8 = 0x04;
+/// Kind byte of a TRACK_ACK frame (retransmitting runtimes only).
+pub const KIND_TRACK_ACK: u8 = 0x05;
 /// Kind byte of a link-layer PAIR_READY frame.
 pub const KIND_LINK_PAIR_READY: u8 = 0x10;
 /// Kind byte of a link-layer REQUEST_DONE frame.
@@ -85,6 +87,10 @@ pub const KIND_LINK_REJECTED: u8 = 0x12;
 pub const KIND_SIGNAL_INSTALL: u8 = 0x20;
 /// Kind byte of a routing-signalling TEARDOWN frame (`qn_routing::wire`).
 pub const KIND_SIGNAL_TEARDOWN: u8 = 0x21;
+/// Kind byte of a routing-signalling INSTALL_ACK frame (`qn_routing::wire`).
+pub const KIND_SIGNAL_INSTALL_ACK: u8 = 0x22;
+/// Kind byte of a routing-signalling TEARDOWN_ACK frame (`qn_routing::wire`).
+pub const KIND_SIGNAL_TEARDOWN_ACK: u8 = 0x23;
 /// Kind byte of a transport BATCH frame (coalesced inner frames).
 pub const KIND_BATCH: u8 = 0x30;
 
@@ -622,6 +628,18 @@ fn decode_expire(r: &mut WireReader<'_>) -> Result<Expire, DecodeError> {
     })
 }
 
+fn encode_track_ack(m: &TrackAck, w: &mut WireWriter<'_>) {
+    m.circuit.encode(w);
+    m.origin.encode(w);
+}
+
+fn decode_track_ack(r: &mut WireReader<'_>) -> Result<TrackAck, DecodeError> {
+    Ok(TrackAck {
+        circuit: CircuitId::decode(r)?,
+        origin: EntanglementId::decode(r)?,
+    })
+}
+
 impl Message {
     /// Append this message's complete frame (header + payload) to `buf`.
     pub fn encode_to(&self, buf: &mut Vec<u8>) {
@@ -643,6 +661,10 @@ impl Message {
                 put_header(&mut w, KIND_EXPIRE);
                 encode_expire(m, &mut w);
             }
+            Message::TrackAck(m) => {
+                put_header(&mut w, KIND_TRACK_ACK);
+                encode_track_ack(m, &mut w);
+            }
         }
     }
 
@@ -663,6 +685,7 @@ impl Message {
             KIND_COMPLETE => Message::Complete(decode_complete(&mut r)?),
             KIND_TRACK => Message::Track(decode_track(&mut r)?),
             KIND_EXPIRE => Message::Expire(decode_expire(&mut r)?),
+            KIND_TRACK_ACK => Message::TrackAck(decode_track_ack(&mut r)?),
             kind => return Err(DecodeError::UnknownKind(kind)),
         };
         r.finish()?;
@@ -1061,6 +1084,41 @@ impl<'a> ExpireView<'a> {
     }
 }
 
+/// Borrowed view of a TRACK_ACK frame (fixed 24-byte payload).
+#[derive(Clone, Copy, Debug)]
+pub struct TrackAckView<'a> {
+    frame: &'a [u8],
+}
+
+impl<'a> TrackAckView<'a> {
+    fn parse_payload(frame: &'a [u8], r: &mut WireReader<'a>) -> Result<Self, DecodeError> {
+        r.skip_fields(&[8, 4, 4, 8])?;
+        Ok(TrackAckView { frame })
+    }
+
+    /// The circuit this message belongs to.
+    pub fn circuit(&self) -> CircuitId {
+        CircuitId(le_u64_at(self.frame, 2))
+    }
+
+    /// Correlator of the acknowledged pair at the TRACK's origin.
+    pub fn origin(&self) -> EntanglementId {
+        EntanglementId {
+            node_a: NodeId(le_u32_at(self.frame, 10)),
+            node_b: NodeId(le_u32_at(self.frame, 14)),
+            seq: le_u64_at(self.frame, 18),
+        }
+    }
+
+    /// Materialise the owned message.
+    pub fn to_track_ack(&self) -> TrackAck {
+        TrackAck {
+            circuit: self.circuit(),
+            origin: self.origin(),
+        }
+    }
+}
+
 /// A borrowed, fully validated view of one data-plane frame.
 ///
 /// `parse` is total and agrees with [`Message::decode`] exactly: the
@@ -1078,6 +1136,8 @@ pub enum MessageView<'a> {
     Track(TrackView<'a>),
     /// An EXPIRE frame.
     Expire(ExpireView<'a>),
+    /// A TRACK_ACK frame.
+    TrackAck(TrackAckView<'a>),
 }
 
 impl<'a> MessageView<'a> {
@@ -1089,6 +1149,7 @@ impl<'a> MessageView<'a> {
             KIND_COMPLETE => MessageView::Complete(CompleteView::parse_payload(bytes, &mut r)?),
             KIND_TRACK => MessageView::Track(TrackView::parse_payload(bytes, &mut r)?),
             KIND_EXPIRE => MessageView::Expire(ExpireView::parse_payload(bytes, &mut r)?),
+            KIND_TRACK_ACK => MessageView::TrackAck(TrackAckView::parse_payload(bytes, &mut r)?),
             kind => return Err(DecodeError::UnknownKind(kind)),
         };
         r.finish()?;
@@ -1103,6 +1164,7 @@ impl<'a> MessageView<'a> {
             MessageView::Complete(v) => v.circuit(),
             MessageView::Track(v) => v.circuit(),
             MessageView::Expire(v) => v.circuit(),
+            MessageView::TrackAck(v) => v.circuit(),
         }
     }
 
@@ -1114,6 +1176,7 @@ impl<'a> MessageView<'a> {
             MessageView::Complete(v) => Message::Complete(v.to_complete()),
             MessageView::Track(v) => Message::Track(v.to_track()),
             MessageView::Expire(v) => Message::Expire(v.to_expire()),
+            MessageView::TrackAck(v) => Message::TrackAck(v.to_track_ack()),
         }
     }
 }
@@ -1330,6 +1393,10 @@ mod tests {
             Message::Expire(Expire {
                 circuit: CircuitId(6),
                 origin: corr(4, 5, u64::MAX),
+            }),
+            Message::TrackAck(TrackAck {
+                circuit: CircuitId(11),
+                origin: corr(6, 7, 3),
             }),
         ]
     }

@@ -7,7 +7,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use qn_link::{EntanglementId, LinkEvent, LinkLabel, LinkPair, RejectReason};
 use qn_net::ids::{CircuitId, Epoch, RequestId};
-use qn_net::messages::{Complete, Expire, Forward, Message, Track};
+use qn_net::messages::{Complete, Expire, Forward, Message, Track, TrackAck};
 use qn_net::request::RequestType;
 use qn_net::wire::{decode_link_event, encode_link_event, DecodeError, MessageView, WIRE_VERSION};
 use qn_quantum::bell::BellState;
@@ -132,8 +132,26 @@ fn arb_expire() -> BoxedStrategy<Message> {
         .boxed()
 }
 
+fn arb_track_ack() -> BoxedStrategy<Message> {
+    (any::<u64>(), arb_corr())
+        .prop_map(|(c, origin)| {
+            Message::TrackAck(TrackAck {
+                circuit: CircuitId(c),
+                origin,
+            })
+        })
+        .boxed()
+}
+
 fn arb_message() -> BoxedStrategy<Message> {
-    prop_oneof![arb_forward(), arb_complete(), arb_track(), arb_expire()].boxed()
+    prop_oneof![
+        arb_forward(),
+        arb_complete(),
+        arb_track(),
+        arb_expire(),
+        arb_track_ack()
+    ]
+    .boxed()
 }
 
 fn arb_link_event() -> BoxedStrategy<LinkEvent> {
@@ -305,6 +323,9 @@ proptest! {
                 prop_assert_eq!(v.epoch(), m.epoch);
             }
             (MessageView::Expire(v), Message::Expire(m)) => {
+                prop_assert_eq!(v.origin(), m.origin);
+            }
+            (MessageView::TrackAck(v), Message::TrackAck(m)) => {
                 prop_assert_eq!(v.origin(), m.origin);
             }
             (v, m) => prop_assert!(false, "kind mismatch: {:?} vs {:?}", v, m),

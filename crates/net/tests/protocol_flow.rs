@@ -284,7 +284,9 @@ impl Harness {
             NetOutput::DiscardPair { pair } => self.discards.push((node_idx, pair)),
             NetOutput::LinkSubmit { side, .. } => self.link_submits.push((node_idx, side)),
             NetOutput::LinkStop { side, .. } => self.link_stops.push((node_idx, side)),
-            NetOutput::LinkSetWeight { .. } | NetOutput::ApplyCorrection { .. } => {}
+            NetOutput::LinkSetWeight { .. }
+            | NetOutput::ApplyCorrection { .. }
+            | NetOutput::TrackAcked { .. } => {}
         }
     }
 

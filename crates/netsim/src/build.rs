@@ -3,7 +3,7 @@
 
 use crate::app::AppHarness;
 use crate::classical::{ClassicalFaults, ClassicalStats};
-use crate::runtime::{CheckpointPolicy, Ev, NetworkModel, RuntimeConfig};
+use crate::runtime::{CheckpointPolicy, Ev, NetworkModel, RetransmitConfig, RuntimeConfig};
 use qn_net::ids::{CircuitId, RequestId};
 use qn_net::node::NodeStats;
 use qn_net::request::UserRequest;
@@ -59,7 +59,17 @@ impl NetworkBuilder {
     /// reordering / byte corruption of the encoded signalling frames.
     /// Default is [`ClassicalFaults::OFF`] — the reliable in-order
     /// plane, bit-identical to a run without this call.
+    ///
+    /// # Panics
+    ///
+    /// If the config fails [`ClassicalFaults::validate`] (a probability
+    /// outside `[0, 1]`, or duplicate/reorder faults without a
+    /// `reorder_window`): failing at build beats a run that silently
+    /// degenerates.
     pub fn classical_faults(mut self, faults: ClassicalFaults) -> Self {
+        if let Err(e) = faults.validate() {
+            panic!("invalid ClassicalFaults: {e}");
+        }
         self.cfg.faults = faults;
         self
     }
@@ -110,6 +120,25 @@ impl NetworkBuilder {
         self
     }
 
+    /// Carry link-layer (PAIR_READY) and routing-signalling
+    /// (INSTALL/TEARDOWN) frames over the classical plane — real
+    /// latency, batching and fault exposure — and enable the hop-by-hop
+    /// signalling acks plus end-to-end TRACK acknowledgement and
+    /// retransmission. Off by default: every recorded baseline was
+    /// produced without it and stays bit-identical.
+    pub fn signalling_on_wire(mut self) -> Self {
+        self.cfg.signalling_on_wire = true;
+        self
+    }
+
+    /// Retransmission bounds/backoff for wire-borne signalling (only
+    /// consulted together with [`NetworkBuilder::signalling_on_wire`];
+    /// setting it alone changes nothing, bit-for-bit).
+    pub fn retransmit(mut self, cfg: RetransmitConfig) -> Self {
+        self.cfg.retransmit = cfg;
+        self
+    }
+
     /// Build the simulation.
     pub fn build(self) -> NetSim {
         let topology = self.topology.clone();
@@ -152,7 +181,17 @@ impl NetSim {
     /// tables, as the paper does for Fig 11).
     pub fn install_plan(&mut self, plan: CircuitPlan) -> CircuitId {
         let installed = self.signaller.install(&self.topology, plan);
-        self.sim.model_mut().install_circuit(&installed);
+        // With `signalling_on_wire` the entries are not installed here:
+        // the INSTALL chain walks the path over the classical plane,
+        // kicked off at the head as the run's first event.
+        if self.sim.model_mut().install_circuit(&installed) {
+            self.sim.schedule_at(
+                self.sim.now(),
+                Ev::SignalKick {
+                    circuit: installed.circuit,
+                },
+            );
+        }
         installed.circuit
     }
 

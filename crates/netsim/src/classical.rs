@@ -138,12 +138,23 @@ impl ClassicalFaults {
         self.drop > 0.0 || self.duplicate > 0.0 || self.reorder > 0.0 || self.corrupt > 0.0
     }
 
-    /// Check all probabilities are in `[0, 1]`.
+    /// Check all probabilities are in `[0, 1]`, and that fault classes
+    /// needing a latency window actually have one: `duplicate` or
+    /// `reorder` above zero with `reorder_window == 0` would silently
+    /// degenerate (duplicates coalesce with their primary, reordered
+    /// frames gain no latency and stay in order).
     pub fn validate(&self) -> Result<(), &'static str> {
         for p in [self.drop, self.duplicate, self.reorder, self.corrupt] {
             if !(0.0..=1.0).contains(&p) {
                 return Err("fault probabilities must be within [0, 1]");
             }
+        }
+        if (self.duplicate > 0.0 || self.reorder > 0.0) && self.reorder_window == SimDuration::ZERO
+        {
+            return Err(
+                "duplicate/reorder faults require a non-zero reorder_window \
+                 (a zero window silently degenerates to in-order, coalesced delivery)",
+            );
         }
         Ok(())
     }
@@ -173,6 +184,29 @@ pub struct ClassicalStats {
     /// Delivered frames the receiver could not decode (dropped there;
     /// incremented by the runtime, not by [`ClassicalPlane`]).
     pub decode_failures: u64,
+    /// Link-plane (PAIR_READY/REQUEST_DONE/REJECTED) frames the receiver
+    /// could not decode (runtime-incremented, `signalling_on_wire` only).
+    pub link_decode_failures: u64,
+    /// Routing-plane (INSTALL/TEARDOWN and acks) frames the receiver
+    /// could not decode (runtime-incremented, `signalling_on_wire` only).
+    pub signal_decode_failures: u64,
+    /// TRACKs re-sent by the origin end-node's retransmit timer.
+    pub track_retransmits: u64,
+    /// TRACK_ACKs emitted by consuming end-nodes.
+    pub track_acks: u64,
+    /// INSTALL/TEARDOWN frames re-sent by a hop's retransmit timer.
+    pub signal_retransmits: u64,
+    /// INSTALL_ACK/TEARDOWN_ACK frames emitted by receiving hops.
+    pub signal_acks: u64,
+    /// Redundant copies of request-level messages (FORWARD/COMPLETE)
+    /// sent over a lossy wire: the fan-out is one-shot in the protocol,
+    /// so on a plane that can lose frames the runtime re-sends these
+    /// idempotent messages on a bounded deterministic backoff instead
+    /// of adding an ack channel the paper doesn't have.
+    pub request_retransmits: u64,
+    /// Retransmission timers abandoned after exhausting their retry
+    /// budget (the chain is left to the track-timeout / a later replan).
+    pub retransmits_abandoned: u64,
     /// Total encoded payload bytes submitted.
     pub wire_bytes: u64,
     /// Batch frames opened (= delivery events scheduled).
@@ -639,6 +673,40 @@ mod tests {
         f.drop = 0.5;
         assert!(f.validate().is_ok());
         assert!(f.enabled());
+    }
+
+    #[test]
+    fn validate_rejects_window_dependent_faults_without_a_window() {
+        // duplicate/reorder with a zero window silently degenerate (the
+        // copies coalesce / stay in order) — validate must reject them.
+        for f in [
+            ClassicalFaults {
+                duplicate: 0.1,
+                ..ClassicalFaults::OFF
+            },
+            ClassicalFaults {
+                reorder: 0.1,
+                ..ClassicalFaults::OFF
+            },
+        ] {
+            let err = f.validate().unwrap_err();
+            assert!(err.contains("reorder_window"), "undescriptive error: {err}");
+            // The same knobs with a window are fine.
+            assert!(ClassicalFaults {
+                reorder_window: SimDuration::from_micros(10),
+                ..f
+            }
+            .validate()
+            .is_ok());
+        }
+        // drop/corrupt alone need no window.
+        assert!(ClassicalFaults {
+            drop: 0.3,
+            corrupt: 0.2,
+            ..ClassicalFaults::OFF
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use app::{AppHarness, DeliveryRecord, Payload};
 pub use build::{NetSim, NetworkBuilder};
 pub use classical::{BatchId, BatchOpen, ClassicalFaults, ClassicalPlane, ClassicalStats};
 pub use estimation::FidelityEstimator;
-pub use runtime::{CheckpointPolicy, Ev, NetworkModel, RuntimeConfig};
+pub use runtime::{CheckpointPolicy, Ev, NetworkModel, RetransmitConfig, RuntimeConfig};
 
 // The qn_exec sweep runner builds and runs whole simulations on worker
 // threads, so the façade types must stay `Send`. Checked at compile

@@ -25,7 +25,7 @@ use qn_hardware::pairs::{PairId, PairStore, SwapNoise};
 use qn_link::{LinkEvent, LinkLabel, LinkProtocol, LinkRequest, PairDemand};
 use qn_net::events::{AppEvent, DeliveryKind, NetInput, NetOutput, PairInfo};
 use qn_net::ids::{CircuitId, Correlator, PairHandle, PairRef, RequestId};
-use qn_net::messages::Message;
+use qn_net::messages::{Message, Track, TrackAck};
 use qn_net::node::NodeStats;
 use qn_net::request::UserRequest;
 use qn_net::routing_table::LinkSide;
@@ -60,6 +60,28 @@ pub enum CheckpointPolicy {
     /// interval. The rescheduling checkpoint event keeps the queue
     /// non-empty: run such simulations with `run_until`, not `run`.
     Interval(SimDuration),
+}
+
+/// Retransmission knobs for wire-borne signalling
+/// ([`RuntimeConfig::signalling_on_wire`]). Backoff is a deterministic
+/// doubling of `base` per attempt — no RNG draws, so a fault-free run
+/// with retransmission configured stays bit-identical to one without.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetransmitConfig {
+    /// Give up on a frame after this many re-sends (the abandonment is
+    /// counted in [`ClassicalStats::retransmits_abandoned`]).
+    pub max_retries: u32,
+    /// Delay before the first retry; attempt `n` waits `base << n`.
+    pub base: SimDuration,
+}
+
+impl Default for RetransmitConfig {
+    fn default() -> Self {
+        RetransmitConfig {
+            max_retries: 8,
+            base: SimDuration::from_millis(10),
+        }
+    }
 }
 
 /// Runtime configuration knobs.
@@ -97,6 +119,17 @@ pub struct RuntimeConfig {
     pub checkpoint: CheckpointPolicy,
     /// Record a human-readable trace.
     pub trace: bool,
+    /// Carry link-layer (PAIR_READY/REQUEST_DONE/REJECTED) and routing
+    /// signalling (INSTALL/TEARDOWN) frames over the classical plane —
+    /// with real latency, batching and fault injection — instead of the
+    /// default instantaneous local codec round-trip. Enables the
+    /// hop-by-hop INSTALL/TEARDOWN ack chain and end-to-end TRACK
+    /// acknowledgement + retransmission. Default off: every recorded
+    /// baseline was produced without it and stays bit-identical.
+    pub signalling_on_wire: bool,
+    /// Retransmission bounds and backoff (only consulted when
+    /// `signalling_on_wire` is set).
+    pub retransmit: RetransmitConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -114,6 +147,8 @@ impl Default for RuntimeConfig {
             disable_cutoff: false,
             checkpoint: CheckpointPolicy::OnTouch,
             trace: false,
+            signalling_on_wire: false,
+            retransmit: RetransmitConfig::default(),
         }
     }
 }
@@ -143,6 +178,20 @@ pub enum Ev {
         circuit: CircuitId,
         /// The pair's correlator.
         correlator: Correlator,
+    },
+    /// Wire mode: check that the PAIR_READY announcing this pair actually
+    /// arrived. A qubit whose announcement was lost is invisible to the
+    /// QNP — no cutoff timer, no TRACK handling — so the runtime reclaims
+    /// it and tells the protocol the correlator is dead.
+    OrphanCheck {
+        /// The node holding the (possibly orphaned) qubit.
+        node: NodeId,
+        /// The pair's circuit.
+        circuit: CircuitId,
+        /// The pair's correlator.
+        correlator: Correlator,
+        /// Which of the node's links produced it.
+        side: LinkSide,
     },
     /// A link generation process heralds success.
     GenDone {
@@ -204,6 +253,52 @@ pub enum Ev {
         side: LinkSide,
         /// The pair announcement.
         info: PairInfo,
+    },
+    /// A TRACK retransmission timer fired at the end-node that
+    /// originated the chain (`signalling_on_wire` only). The node
+    /// re-sends its TRACK unless the chain was acknowledged meanwhile.
+    TrackRetransmit {
+        /// The originating end-node.
+        node: NodeId,
+        /// The chain's circuit.
+        circuit: CircuitId,
+        /// Correlator of the origin link pair (the retransmit key).
+        origin: Correlator,
+    },
+    /// Start a wire-borne circuit installation at the head of the path
+    /// (`signalling_on_wire` only): the head installs locally and sends
+    /// the first INSTALL frame to its downstream neighbour.
+    SignalKick {
+        /// The circuit to install.
+        circuit: CircuitId,
+    },
+    /// A routing-signalling retransmission timer fired: the INSTALL (or
+    /// TEARDOWN, once tearing) from `path[hop]` to `path[hop + 1]` was
+    /// never acknowledged.
+    SignalRetransmit {
+        /// The circuit being signalled.
+        circuit: CircuitId,
+        /// Index of the *sending* node on the circuit's path.
+        hop: usize,
+    },
+    /// A scheduled redundant copy of an idempotent request-level
+    /// message (FORWARD/COMPLETE) on a lossy wire (`signalling_on_wire`
+    /// with loss faults): the request fan-out is one-shot in the
+    /// protocol and wedges the circuit forever if a copy is lost, so
+    /// the runtime re-sends it on a bounded deterministic backoff —
+    /// receivers absorb the duplicates — instead of adding an ack
+    /// channel the paper doesn't have.
+    RequestResend {
+        /// The re-sending node.
+        node: NodeId,
+        /// The circuit the message rides on.
+        circuit: CircuitId,
+        /// Direction of the original send.
+        downstream: bool,
+        /// Copies already scheduled (bounds the redundancy).
+        attempt: u32,
+        /// The message to re-send, verbatim.
+        msg: Message,
     },
     /// Scenario hook: submit an application request at the head-end.
     SubmitRequest {
@@ -280,6 +375,54 @@ impl CircuitRt {
         let down = (i + 1 < self.path.len()).then(|| self.path[i + 1]);
         (up, down)
     }
+}
+
+/// Retransmission state for one unacknowledged TRACK at its origin
+/// end-node, keyed `(node, origin correlator)` in a [`NodeTable`].
+#[derive(Clone, Copy)]
+struct TrackRetry {
+    /// Retries already sent.
+    attempt: u32,
+    /// The armed [`Ev::TrackRetransmit`] (cancelled on TRACK_ACK).
+    event: EventId,
+    /// Direction the original TRACK was sent in.
+    downstream: bool,
+    /// The frame to re-send, verbatim.
+    track: Track,
+}
+
+/// Retransmission timer for one unacknowledged signalling hop.
+#[derive(Clone, Copy)]
+struct SignalRetry {
+    attempt: u32,
+    event: EventId,
+}
+
+/// Wire-borne signalling state of one circuit (`signalling_on_wire`):
+/// the INSTALL/TEARDOWN chain walks the path hop by hop, each hop acked
+/// and retransmitted independently. The struct outlives the circuit so
+/// that late duplicates of already-processed frames still draw a re-ack
+/// (which is what stops the sender's retransmission).
+struct SignalRt {
+    path: Vec<NodeId>,
+    /// Routing entries aligned with `path` (cutoff overrides applied).
+    entries: Vec<qn_net::routing_table::RoutingEntry>,
+    /// Whether `path[i]` has processed its INSTALL.
+    installed: Vec<bool>,
+    /// Whether `path[i]` has processed its TEARDOWN.
+    torn: Vec<bool>,
+    /// Teardown supersedes installation (stale INSTALL acks are ignored
+    /// once set, so they cannot cancel a TEARDOWN retransmit timer).
+    tearing: bool,
+    /// `pending[i]` guards the unacked frame from `path[i]` to
+    /// `path[i + 1]`.
+    pending: Vec<Option<SignalRetry>>,
+}
+
+/// Deterministic, draw-free exponential backoff: `base << attempt`,
+/// saturating.
+fn backoff(base: SimDuration, attempt: u32) -> SimDuration {
+    SimDuration::from_ps(base.as_ps().saturating_mul(1u64 << attempt.min(20)))
 }
 
 /// Dense per-node correlator table: the runtime's `(NodeId, Correlator)
@@ -419,6 +562,20 @@ pub struct NetworkModel {
     /// densely from 1 by the signaller; torn-down slots go `None`).
     circuits: Vec<Option<CircuitRt>>,
     cutoff_events: NodeTable<EventId>,
+    /// Armed [`Ev::TrackExpiry`] timers: cancelled the moment the pair
+    /// resolves, so a completed pair never sees a late timeout.
+    track_expiry_events: NodeTable<EventId>,
+    /// Unacknowledged TRACKs at their origin end-nodes
+    /// (`signalling_on_wire` only).
+    track_retransmits: NodeTable<TrackRetry>,
+    /// PAIR_READY frames already delivered to a node's QNP: a
+    /// duplication fault must not hand the protocol the same pair twice
+    /// (`signalling_on_wire` only).
+    link_delivered: NodeTable<()>,
+    /// Wire-borne signalling chains, indexed like `circuits`
+    /// (`signalling_on_wire` only; slots stay populated after teardown
+    /// so late duplicates still draw re-acks).
+    signal_state: Vec<Option<SignalRt>>,
     /// Application observations.
     pub app: AppHarness,
     /// Trace recorder (enabled via config).
@@ -493,6 +650,10 @@ impl NetworkModel {
             label_map: (0..n_links).map(|_| Vec::new()).collect(),
             circuits: Vec::new(),
             cutoff_events: NodeTable::new(n_nodes),
+            track_expiry_events: NodeTable::new(n_nodes),
+            track_retransmits: NodeTable::new(n_nodes),
+            link_delivered: NodeTable::new(n_nodes),
+            signal_state: Vec::new(),
             app: AppHarness::default(),
             trace: if cfg.trace {
                 Trace::enabled()
@@ -524,9 +685,14 @@ impl NetworkModel {
         total
     }
 
-    /// Install a circuit (signalling action): registers labels, feeds the
-    /// routing entries to the nodes, and records path metadata.
-    pub fn install_circuit(&mut self, installed: &InstalledCircuit) {
+    /// Install a circuit (signalling action): registers labels, records
+    /// path metadata, and feeds the routing entries to the nodes.
+    ///
+    /// Returns `true` when `signalling_on_wire` is set: the entries are
+    /// *not* installed here — the caller must schedule
+    /// [`Ev::SignalKick`] so the INSTALL chain walks the path over the
+    /// classical plane with real latency and fault exposure.
+    pub fn install_circuit(&mut self, installed: &InstalledCircuit) -> bool {
         let idx = installed.circuit.0 as usize;
         if self.circuits.len() <= idx {
             self.circuits.resize_with(idx + 1, || None);
@@ -544,6 +710,39 @@ impl NetworkModel {
                 },
             ));
         }
+        if self.cfg.signalling_on_wire {
+            // Path-aligned entries with the cutoff override applied, so
+            // the bytes on the wire are the entries the nodes install.
+            let entries: Vec<_> = installed
+                .path
+                .iter()
+                .map(|node| {
+                    let (_, entry) = installed
+                        .entries
+                        .iter()
+                        .find(|(n, _)| n == node)
+                        .expect("every path node has a routing entry");
+                    let mut entry = *entry;
+                    if self.cfg.disable_cutoff {
+                        entry.cutoff = SimDuration::MAX;
+                    }
+                    entry
+                })
+                .collect();
+            let n = installed.path.len();
+            if self.signal_state.len() <= idx {
+                self.signal_state.resize_with(idx + 1, || None);
+            }
+            self.signal_state[idx] = Some(SignalRt {
+                path: installed.path.clone(),
+                entries,
+                installed: vec![false; n],
+                torn: vec![false; n],
+                tearing: false,
+                pending: vec![None; n],
+            });
+            return true;
+        }
         for (node, entry) in &installed.entries {
             let mut entry = *entry;
             if self.cfg.disable_cutoff {
@@ -553,15 +752,20 @@ impl NetworkModel {
             // INSTALL round-trips through the wire codec (encoded into
             // the shared scratch, decoded through the borrowed view), so
             // the entry the node installs is the one that survives
-            // encoding.
+            // encoding. A failed round-trip is counted and the node
+            // skipped — undecodable frames drop at the receiver, they
+            // never panic the runtime.
             let frame = self
                 .scratch
                 .frame(|b| qn_routing::wire::SignalMessage::Install { entry }.encode_to(b));
-            let view = qn_routing::wire::SignalMessageView::parse(frame)
-                .expect("INSTALL frame must round-trip");
-            let decoded = match view.to_message() {
-                qn_routing::wire::SignalMessage::Install { entry } => entry,
-                other => unreachable!("INSTALL frame must round-trip, got {other:?}"),
+            let decoded = match qn_routing::wire::SignalMessageView::parse(frame)
+                .map(|view| view.to_message())
+            {
+                Ok(qn_routing::wire::SignalMessage::Install { entry }) => entry,
+                _ => {
+                    self.plane.stats.signal_decode_failures += 1;
+                    continue;
+                }
             };
             debug_assert_eq!(decoded, entry);
             let outs = self.nodes[node.0 as usize]
@@ -569,6 +773,7 @@ impl NetworkModel {
                 .handle(NetInput::InstallCircuit { entry: decoded });
             debug_assert!(outs.is_empty());
         }
+        false
     }
 
     /// The fidelity threshold of a circuit (for oracle baselines).
@@ -664,6 +869,642 @@ impl NetworkModel {
         }
     }
 
+    /// Transmit one link-layer or signalling frame between two adjacent
+    /// nodes over the classical plane (`signalling_on_wire` paths). The
+    /// lane (`downstream`) only selects the batch the frame coalesces
+    /// into; receivers demux these frames by kind byte, not direction.
+    fn transmit_frame(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        from: NodeId,
+        to: NodeId,
+        downstream: bool,
+        encode: impl FnOnce(&mut Vec<u8>),
+    ) {
+        let Some(link) = self.topology.link_between(from, to) else {
+            return;
+        };
+        let channel = ChannelModel {
+            propagation: self.links[link.0 as usize]
+                .physics
+                .fibre()
+                .propagation_delay(),
+            processing: self.cfg.processing_delay,
+            extra: self.cfg.extra_message_delay,
+            jitter: self.cfg.message_jitter,
+        };
+        let frame = self.scratch.frame(encode);
+        let opened = self.plane.transmit(
+            from,
+            to,
+            downstream,
+            ctx.now(),
+            &channel,
+            &mut self.rng_msgs,
+            frame,
+        );
+        for b in opened.into_iter().flatten() {
+            ctx.schedule_at(
+                b.at,
+                Ev::BatchDeliver {
+                    to,
+                    from_upstream: downstream,
+                    batch: b.id,
+                },
+            );
+        }
+    }
+
+    /// Whether `node` is an intermediate (repeater) on the circuit.
+    fn is_intermediate_on(&self, circuit: CircuitId, node: NodeId) -> bool {
+        self.circuit_rt(circuit).is_some_and(|rt| {
+            let (u, d) = rt.neighbours(node);
+            u.is_some() && d.is_some()
+        })
+    }
+
+    /// Arm the track-expiry timer for a freshly announced pair and
+    /// remember the event so resolution can cancel it.
+    fn arm_track_expiry(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        circuit: CircuitId,
+        correlator: Correlator,
+        timeout: SimDuration,
+    ) {
+        let ev = ctx.schedule_in(
+            timeout,
+            Ev::TrackExpiry {
+                node,
+                circuit,
+                correlator,
+            },
+        );
+        self.track_expiry_events.insert(node, correlator, ev);
+    }
+
+    /// Cancel the track-expiry timer of `(node, correlator)`, if armed.
+    fn cancel_track_expiry(&mut self, ctx: &mut Context<'_, Ev>, node: NodeId, c: Correlator) {
+        if let Some(ev) = self.track_expiry_events.remove(node, c) {
+            ctx.cancel(ev);
+        }
+    }
+
+    /// If `msg` is a TRACK this end-node just *originated* (`origin ==
+    /// link` — a repeater rewrite can never produce that), arm its
+    /// retransmission timer. Wire mode only; no RNG draws.
+    fn maybe_arm_track_retry(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        circuit: CircuitId,
+        downstream: bool,
+        msg: &Message,
+    ) {
+        if !self.cfg.signalling_on_wire {
+            return;
+        }
+        let Message::Track(t) = msg else { return };
+        if t.origin != t.link {
+            return;
+        }
+        let event = ctx.schedule_in(
+            self.cfg.retransmit.base,
+            Ev::TrackRetransmit {
+                node,
+                circuit,
+                origin: t.origin,
+            },
+        );
+        self.track_retransmits.insert(
+            node,
+            t.origin,
+            TrackRetry {
+                attempt: 0,
+                event,
+                downstream,
+                track: *t,
+            },
+        );
+    }
+
+    /// If `msg` is a request-level message (FORWARD/COMPLETE) leaving
+    /// this node over a wire that can lose frames, schedule its first
+    /// redundant copy. These messages are one-shot in the protocol —
+    /// a lost FORWARD silently wedges the whole request, because link
+    /// generation downstream never starts — but they are idempotent
+    /// (receivers count and absorb duplicates) and per-request rare,
+    /// so bounded blind redundancy is cheaper and simpler than an ack
+    /// channel. No RNG draws.
+    fn maybe_schedule_request_resend(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        circuit: CircuitId,
+        downstream: bool,
+        msg: &Message,
+    ) {
+        if !self.cfg.signalling_on_wire
+            || (self.cfg.faults.drop == 0.0 && self.cfg.faults.corrupt == 0.0)
+        {
+            return;
+        }
+        if !matches!(msg, Message::Forward(_) | Message::Complete(_)) {
+            return;
+        }
+        // Only the head end-node (the fan-out's origin) arms copies.
+        // Repeaters relay every copy they receive — including
+        // duplicates — so origin redundancy already covers every hop;
+        // arming at relays too would amplify each copy per hop.
+        if !self
+            .circuit_rt(circuit)
+            .is_some_and(|rt| rt.path.first() == Some(&node))
+        {
+            return;
+        }
+        ctx.schedule_in(
+            self.cfg.retransmit.base,
+            Ev::RequestResend {
+                node,
+                circuit,
+                downstream,
+                attempt: 1,
+                msg: *msg,
+            },
+        );
+    }
+
+    /// A scheduled redundant request-level copy came due: re-send it
+    /// and, within the retry budget, schedule the next copy.
+    fn request_resend_fire(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        circuit: CircuitId,
+        downstream: bool,
+        attempt: u32,
+        msg: Message,
+    ) {
+        if self.circuit_rt(circuit).is_none() {
+            return; // torn down; the fan-out is moot
+        }
+        if attempt < self.cfg.retransmit.max_retries {
+            ctx.schedule_in(
+                backoff(self.cfg.retransmit.base, attempt),
+                Ev::RequestResend {
+                    node,
+                    circuit,
+                    downstream,
+                    attempt: attempt + 1,
+                    msg,
+                },
+            );
+        }
+        self.plane.stats.request_retransmits += 1;
+        self.send_message(ctx, node, circuit, downstream, msg);
+    }
+
+    /// An armed TRACK retransmission timer fired.
+    fn track_retransmit_fire(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        circuit: CircuitId,
+        origin: Correlator,
+    ) {
+        let Some(mut retry) = self.track_retransmits.remove(node, origin) else {
+            return; // acknowledged meanwhile
+        };
+        if self.circuit_rt(circuit).is_none() {
+            return; // torn down; nothing left to confirm
+        }
+        if retry.attempt >= self.cfg.retransmit.max_retries {
+            self.plane.stats.retransmits_abandoned += 1;
+            return;
+        }
+        retry.attempt += 1;
+        retry.event = ctx.schedule_in(
+            backoff(self.cfg.retransmit.base, retry.attempt),
+            Ev::TrackRetransmit {
+                node,
+                circuit,
+                origin,
+            },
+        );
+        self.plane.stats.track_retransmits += 1;
+        let (downstream, track) = (retry.downstream, retry.track);
+        self.track_retransmits.insert(node, origin, retry);
+        self.send_message(ctx, node, circuit, downstream, Message::Track(track));
+    }
+
+    /// Deliver a link pair announcement to one node's QNP, routing
+    /// near-term repeaters through the move-to-storage step first.
+    #[allow(clippy::too_many_arguments)] // mirrors the announcement fields
+    fn deliver_link_pair(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        node: NodeId,
+        link: LinkId,
+        pid: PairId,
+        circuit: CircuitId,
+        side: LinkSide,
+        info: PairInfo,
+    ) {
+        // Near-term repeaters must move the pair into carbon storage
+        // before the shared electron frees up; the network layer learns
+        // of the pair once it is safely stored.
+        if self.cfg.near_term && self.is_intermediate_on(circuit, node) {
+            if let Some(storage) = self.nodes[node.0 as usize].device.alloc_storage() {
+                let params = self.nodes[node.0 as usize].device.params();
+                let move_time = 2.0 * params.gates.two_qubit.duration
+                    + params.gates.carbon_init.map(|g| g.duration).unwrap_or(0.0);
+                ctx.schedule_in(
+                    SimDuration::from_secs_f64(move_time),
+                    Ev::MoveDone {
+                        node,
+                        pair: pid,
+                        storage,
+                        link,
+                        circuit,
+                        side,
+                        info,
+                    },
+                );
+                return;
+            }
+            // No storage: the electron stays occupied; deliver anyway.
+        }
+        let outs = self.nodes[node.0 as usize].qnp.handle(NetInput::LinkPair {
+            circuit,
+            side,
+            info,
+        });
+        self.process_outputs(ctx, node, circuit, outs);
+    }
+
+    /// A PAIR_READY frame reached `node` over the wire: resolve it
+    /// against the runtime's current state (the pair may be long gone)
+    /// and hand it to the local QNP exactly once.
+    fn pair_ready_at(&mut self, ctx: &mut Context<'_, Ev>, node: NodeId, pair: qn_link::LinkPair) {
+        let correlator = Correlator {
+            node_a: pair.id.node_a,
+            node_b: pair.id.node_b,
+            seq: pair.id.seq,
+        };
+        // A duplication fault can deliver the same announcement twice; a
+        // second LinkPair would occupy a second request slot downstream.
+        if self.link_delivered.get(node, correlator).is_some() {
+            return;
+        }
+        // The physical qubit may already have been reclaimed (timeout,
+        // teardown) by the time the announcement lands: stale, drop.
+        let Some(pid) = self.qubit_owner.get(node, correlator) else {
+            return;
+        };
+        let Some(link) = self.topology.link_between(pair.id.node_a, pair.id.node_b) else {
+            return;
+        };
+        let Some(info) = self.label_map[link.0 as usize]
+            .iter()
+            .find(|(l, _)| *l == pair.label)
+            .map(|(_, info)| info)
+        else {
+            // Circuit torn down while the frame was in flight: free the
+            // local end (the other end resolves on its own copy).
+            self.release_end(ctx, node, correlator, false);
+            return;
+        };
+        let circuit = info.circuit;
+        let side = if node == info.upstream_node {
+            LinkSide::Downstream
+        } else {
+            LinkSide::Upstream
+        };
+        let pair_info = PairInfo {
+            pair: PairRef {
+                correlator,
+                handle: PairHandle(pid.0),
+            },
+            announced: pair.announced,
+        };
+        self.link_delivered.insert(node, correlator, ());
+        self.deliver_link_pair(ctx, node, link, pid, circuit, side, pair_info);
+    }
+
+    /// Demuxed handler for link-layer frames (kinds `0x10..=0x12`)
+    /// arriving over the wire.
+    fn handle_link_frame(&mut self, ctx: &mut Context<'_, Ev>, to: NodeId, frame: &[u8]) {
+        match qn_net::wire::decode_link_event(frame) {
+            Ok(LinkEvent::PairReady(pair)) => self.pair_ready_at(ctx, to, pair),
+            Ok(LinkEvent::RequestDone(label)) => {
+                self.trace.record(
+                    ctx.now(),
+                    TraceKind::Info,
+                    format!("{to}"),
+                    format!("link request {label} done"),
+                );
+            }
+            Ok(LinkEvent::Rejected(label, reason)) => {
+                self.trace.record(
+                    ctx.now(),
+                    TraceKind::Info,
+                    format!("{to}"),
+                    format!("link request {label} rejected: {reason}"),
+                );
+            }
+            Err(err) => {
+                self.plane.stats.link_decode_failures += 1;
+                self.trace.record(
+                    ctx.now(),
+                    TraceKind::Info,
+                    format!("{to}"),
+                    format!("undecodable link frame dropped: {err}"),
+                );
+            }
+        }
+    }
+
+    /// Send the signalling frame (INSTALL, or TEARDOWN once tearing)
+    /// from `path[hop]` to `path[hop + 1]` and arm its retransmit timer.
+    fn send_signal_hop(&mut self, ctx: &mut Context<'_, Ev>, circuit: CircuitId, hop: usize) {
+        let Some(st) = self
+            .signal_state
+            .get(circuit.0 as usize)
+            .and_then(|s| s.as_ref())
+        else {
+            return;
+        };
+        let (from, to) = (st.path[hop], st.path[hop + 1]);
+        let msg = if st.tearing {
+            qn_routing::wire::SignalMessage::Teardown { circuit }
+        } else {
+            qn_routing::wire::SignalMessage::Install {
+                entry: st.entries[hop + 1],
+            }
+        };
+        self.transmit_frame(ctx, from, to, true, |b| msg.encode_to(b));
+        let event = ctx.schedule_in(
+            self.cfg.retransmit.base,
+            Ev::SignalRetransmit { circuit, hop },
+        );
+        if let Some(st) = self
+            .signal_state
+            .get_mut(circuit.0 as usize)
+            .and_then(|s| s.as_mut())
+        {
+            // An unacked INSTALL's timer may still guard this hop when a
+            // TEARDOWN overtakes it; the new frame supersedes it.
+            if let Some(SignalRetry { event, .. }) =
+                st.pending[hop].replace(SignalRetry { attempt: 0, event })
+            {
+                ctx.cancel(event);
+            }
+        }
+    }
+
+    /// A signalling retransmit timer fired for the frame from
+    /// `path[hop]` to `path[hop + 1]`.
+    fn signal_retransmit_fire(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        circuit: CircuitId,
+        hop: usize,
+    ) {
+        let (msg, from, to, attempt) = {
+            let Some(st) = self
+                .signal_state
+                .get_mut(circuit.0 as usize)
+                .and_then(|s| s.as_mut())
+            else {
+                return;
+            };
+            let Some(retry) = st.pending[hop].take() else {
+                return; // acknowledged meanwhile
+            };
+            if retry.attempt >= self.cfg.retransmit.max_retries {
+                self.plane.stats.retransmits_abandoned += 1;
+                return;
+            }
+            let msg = if st.tearing {
+                qn_routing::wire::SignalMessage::Teardown { circuit }
+            } else {
+                qn_routing::wire::SignalMessage::Install {
+                    entry: st.entries[hop + 1],
+                }
+            };
+            (msg, st.path[hop], st.path[hop + 1], retry.attempt + 1)
+        };
+        self.plane.stats.signal_retransmits += 1;
+        let event = ctx.schedule_in(
+            backoff(self.cfg.retransmit.base, attempt),
+            Ev::SignalRetransmit { circuit, hop },
+        );
+        if let Some(st) = self
+            .signal_state
+            .get_mut(circuit.0 as usize)
+            .and_then(|s| s.as_mut())
+        {
+            st.pending[hop] = Some(SignalRetry { attempt, event });
+        }
+        self.transmit_frame(ctx, from, to, true, |b| msg.encode_to(b));
+    }
+
+    /// Kick off a wire-borne installation: the head installs locally and
+    /// the INSTALL chain starts down the path.
+    fn signal_kick(&mut self, ctx: &mut Context<'_, Ev>, circuit: CircuitId) {
+        let (head, entry, more) = {
+            let Some(st) = self
+                .signal_state
+                .get_mut(circuit.0 as usize)
+                .and_then(|s| s.as_mut())
+            else {
+                return;
+            };
+            if st.tearing || st.installed[0] {
+                return;
+            }
+            st.installed[0] = true;
+            (st.path[0], st.entries[0], st.path.len() > 1)
+        };
+        let outs = self.nodes[head.0 as usize]
+            .qnp
+            .handle(NetInput::InstallCircuit { entry });
+        self.process_outputs(ctx, head, circuit, outs);
+        if more {
+            self.send_signal_hop(ctx, circuit, 0);
+        }
+    }
+
+    /// Final bookkeeping once the TEARDOWN chain reaches the tail: only
+    /// now do in-flight generations stop routing and the circuit slot
+    /// free (`side_link`/`circuit_rt` must work until every node tore
+    /// down).
+    fn finish_teardown(&mut self, circuit: CircuitId) {
+        for row in &mut self.label_map {
+            row.retain(|(_, info)| info.circuit != circuit);
+        }
+        if let Some(slot) = self.circuits.get_mut(circuit.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Demuxed handler for routing-signalling frames (kinds
+    /// `0x20..=0x23`) arriving over the wire.
+    fn handle_signal_frame(&mut self, ctx: &mut Context<'_, Ev>, to: NodeId, frame: &[u8]) {
+        let msg = match qn_routing::wire::SignalMessageView::parse(frame) {
+            Ok(view) => view.to_message(),
+            Err(err) => {
+                self.plane.stats.signal_decode_failures += 1;
+                self.trace.record(
+                    ctx.now(),
+                    TraceKind::Info,
+                    format!("{to}"),
+                    format!("undecodable signalling frame dropped: {err}"),
+                );
+                return;
+            }
+        };
+        use qn_routing::wire::SignalMessage as Sm;
+        let circuit = match msg {
+            Sm::Install { entry } => entry.circuit,
+            Sm::Teardown { circuit } | Sm::InstallAck { circuit } | Sm::TeardownAck { circuit } => {
+                circuit
+            }
+        };
+        // Position of the receiving node on the signalled path. Frames
+        // for unknown circuits (corrupted id) or from nodes off the path
+        // are stale noise: drop.
+        let Some(i) = self
+            .signal_state
+            .get(circuit.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map(|st| st.path.as_slice())
+            .and_then(|p| p.iter().position(|n| *n == to))
+        else {
+            return;
+        };
+        match msg {
+            Sm::Install { entry } => {
+                if i == 0 {
+                    return; // the head installs locally, never via wire
+                }
+                let (first, prev, last) = {
+                    let st = self.signal_state[circuit.0 as usize]
+                        .as_mut()
+                        .expect("checked");
+                    let first = !st.installed[i] && !st.tearing;
+                    st.installed[i] = true;
+                    (first, st.path[i - 1], st.path.len() - 1)
+                };
+                if first {
+                    let outs = self.nodes[to.0 as usize]
+                        .qnp
+                        .handle(NetInput::InstallCircuit { entry });
+                    self.process_outputs(ctx, to, circuit, outs);
+                    if i < last {
+                        self.send_signal_hop(ctx, circuit, i);
+                    }
+                }
+                // Always ack — re-acks recover lost acks; a node caught
+                // by teardown acks too (the sender must stop either way).
+                self.plane.stats.signal_acks += 1;
+                let msg = Sm::InstallAck { circuit };
+                self.transmit_frame(ctx, to, prev, false, |b| msg.encode_to(b));
+            }
+            Sm::Teardown { .. } => {
+                if i == 0 {
+                    return;
+                }
+                let (first, prev, last) = {
+                    let st = self.signal_state[circuit.0 as usize]
+                        .as_mut()
+                        .expect("checked");
+                    let first = !st.torn[i];
+                    st.torn[i] = true;
+                    st.tearing = true;
+                    (first, st.path[i - 1], st.path.len() - 1)
+                };
+                if first {
+                    let outs = self.nodes[to.0 as usize]
+                        .qnp
+                        .handle(NetInput::TeardownCircuit { circuit });
+                    self.process_outputs(ctx, to, circuit, outs);
+                    if i < last {
+                        self.send_signal_hop(ctx, circuit, i);
+                    } else {
+                        self.finish_teardown(circuit);
+                    }
+                }
+                self.plane.stats.signal_acks += 1;
+                let msg = Sm::TeardownAck { circuit };
+                self.transmit_frame(ctx, to, prev, false, |b| msg.encode_to(b));
+            }
+            Sm::InstallAck { .. } => {
+                let st = self.signal_state[circuit.0 as usize]
+                    .as_mut()
+                    .expect("checked");
+                // Once tearing, the pending slot guards a TEARDOWN; a
+                // straggling install ack must not cancel it.
+                if !st.tearing {
+                    if let Some(SignalRetry { event, .. }) = st.pending[i].take() {
+                        ctx.cancel(event);
+                    }
+                }
+            }
+            Sm::TeardownAck { .. } => {
+                let st = self.signal_state[circuit.0 as usize]
+                    .as_mut()
+                    .expect("checked");
+                if st.tearing {
+                    if let Some(SignalRetry { event, .. }) = st.pending[i].take() {
+                        ctx.cancel(event);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wire-borne teardown: cancel outstanding INSTALL retransmissions,
+    /// tear the head down locally, and start the TEARDOWN chain.
+    fn teardown_wire(&mut self, ctx: &mut Context<'_, Ev>, circuit: CircuitId) {
+        let (head, more) = {
+            let Some(st) = self
+                .signal_state
+                .get_mut(circuit.0 as usize)
+                .and_then(|s| s.as_mut())
+            else {
+                return;
+            };
+            if st.tearing {
+                return;
+            }
+            st.tearing = true;
+            st.torn[0] = true;
+            for slot in &mut st.pending {
+                if let Some(SignalRetry { event, .. }) = slot.take() {
+                    ctx.cancel(event);
+                }
+            }
+            (st.path[0], st.path.len() > 1)
+        };
+        let outs = self.nodes[head.0 as usize]
+            .qnp
+            .handle(NetInput::TeardownCircuit { circuit });
+        self.process_outputs(ctx, head, circuit, outs);
+        self.trace.record(
+            ctx.now(),
+            TraceKind::Info,
+            "signalling".to_string(),
+            format!("{circuit} teardown signalled"),
+        );
+        if more {
+            self.send_signal_hop(ctx, circuit, 0);
+        } else {
+            self.finish_teardown(circuit);
+        }
+    }
+
     /// Free one end of a pair at a node: release the memory slot, drop
     /// the reference, and — because freed qubits get re-initialised for
     /// new attempts — replace the abandoned end with white noise when the
@@ -675,6 +1516,11 @@ impl NetworkModel {
         correlator: Correlator,
         reinitialise: bool,
     ) {
+        // The pair is resolved at this node whatever happens below: its
+        // track-expiry timer (if armed) must never fire late, and the
+        // wire-delivery dedup entry is done.
+        self.cancel_track_expiry(ctx, node, correlator);
+        self.link_delivered.remove(node, correlator);
         let Some(pid) = self.qubit_owner.remove(node, correlator) else {
             return;
         };
@@ -757,24 +1603,38 @@ impl NetworkModel {
         let (pair, events) = l
             .proto
             .on_generation_complete(announced, inflight.attempts, elapsed);
-        // The link layer announces the pair to the nodes over classical
-        // signalling; that announcement is byte-accurate too — the
-        // PAIR_READY frame round-trips through the wire codec and the
-        // *decoded* pair is what the stack proceeds with.
-        let pair = {
-            let frame = self
-                .scratch
-                .frame(|b| qn_net::wire::encode_link_event(&LinkEvent::PairReady(pair), b));
-            match qn_net::wire::decode_link_event(frame) {
-                Ok(LinkEvent::PairReady(p)) => p,
-                other => unreachable!("PAIR_READY frame must round-trip, got {other:?}"),
-            }
-        };
         let state = l
             .physics
             .heralded_pair(inflight.alpha, announced, self.pairs.rep());
         let (na, qa) = inflight.qubit_a;
         let (nb, qb) = inflight.qubit_b;
+        // The link layer announces the pair to the nodes over classical
+        // signalling; that announcement is byte-accurate too — the
+        // PAIR_READY frame round-trips through the wire codec and the
+        // *decoded* pair is what the stack proceeds with. On the default
+        // (local, lossless) plane the round-trip happens right here;
+        // with `signalling_on_wire` the frame instead crosses the
+        // classical plane per end and each receiver decodes its copy.
+        let pair = if self.cfg.signalling_on_wire {
+            pair
+        } else {
+            let frame = self
+                .scratch
+                .frame(|b| qn_net::wire::encode_link_event(&LinkEvent::PairReady(pair), b));
+            match qn_net::wire::decode_link_event(frame) {
+                Ok(LinkEvent::PairReady(p)) => p,
+                _ => {
+                    // Undecodable announcement: counted and dropped (no
+                    // panic); the reserved qubits return to their
+                    // devices and the link tries again.
+                    self.plane.stats.link_decode_failures += 1;
+                    self.nodes[na.0 as usize].device.free(qa);
+                    self.nodes[nb.0 as usize].device.free(qb);
+                    self.poll_link(ctx, link);
+                    return;
+                }
+            }
+        };
         let (t1a, t2a) = self.nodes[na.0 as usize].device.coherence_times(qa);
         let (t1b, t2b) = self.nodes[nb.0 as usize].device.coherence_times(qb);
         let pid = self.pairs.create_pair(
@@ -855,64 +1715,59 @@ impl NetworkModel {
             } else {
                 LinkSide::Upstream
             };
-            // Near-term repeaters must move the pair into carbon storage
-            // before the shared electron frees up; the network layer
-            // learns of the pair once it is safely stored.
-            let is_intermediate = {
-                let rt = self.circuit_rt(circuit).expect("circuit installed");
-                let (u, d) = rt.neighbours(node);
-                u.is_some() && d.is_some()
-            };
-            if self.cfg.near_term && is_intermediate {
-                if let Some(storage) = self.nodes[node.0 as usize].device.alloc_storage() {
-                    let params = self.nodes[node.0 as usize].device.params();
-                    let move_time = 2.0 * params.gates.two_qubit.duration
-                        + params.gates.carbon_init.map(|g| g.duration).unwrap_or(0.0);
-                    ctx.schedule_in(
-                        SimDuration::from_secs_f64(move_time),
-                        Ev::MoveDone {
-                            node,
-                            pair: pid,
-                            storage,
-                            link,
-                            circuit,
-                            side,
-                            info: pair_info,
-                        },
-                    );
-                    continue;
-                }
-                // No storage: the electron stays occupied; deliver anyway.
-            }
-            let outs = self.nodes[node.0 as usize].qnp.handle(NetInput::LinkPair {
-                circuit,
-                side,
-                info: pair_info,
-            });
-            self.process_outputs(ctx, node, circuit, outs);
             // On a faulty plane an end-node's chain can lose its
             // TRACK/EXPIRE forever; the optional track-timeout frees
             // the qubit instead of holding it until the heat death of
-            // the run. Never armed by default.
+            // the run. Never armed by default. Armed *before* delivery
+            // so an immediately rejected pair cancels it right back via
+            // `release_end`.
             if let Some(timeout) = self.cfg.track_timeout {
-                if !is_intermediate {
-                    ctx.schedule_in(
-                        timeout,
-                        Ev::TrackExpiry {
-                            node,
-                            circuit,
-                            correlator,
-                        },
-                    );
+                if !self.is_intermediate_on(circuit, node) {
+                    self.arm_track_expiry(ctx, node, circuit, correlator, timeout);
                 }
+            }
+            if self.cfg.signalling_on_wire {
+                // With the announcement itself on the wire, PAIR_READY
+                // can be lost — the receiver then holds a qubit the QNP
+                // never hears about, outside every protocol timer. The
+                // orphan check fires on the classical plane's response
+                // timescale (the retransmit base), not the end-to-end
+                // track-timeout: announcement delivery is one hop, so a
+                // pair still unknown after it is gone for good. Never
+                // cancelled — a resolved pair makes the check a no-op.
+                ctx.schedule_in(
+                    self.cfg.retransmit.base,
+                    Ev::OrphanCheck {
+                        node,
+                        circuit,
+                        correlator,
+                        side,
+                    },
+                );
+                // The announcement crosses the classical plane (latency,
+                // batching, faults) and is decoded at the receiver.
+                let peer = if node == na { nb } else { na };
+                let downstream = peer == upstream_node;
+                self.transmit_frame(ctx, peer, node, downstream, |b| {
+                    qn_net::wire::encode_link_event(&LinkEvent::PairReady(pair), b)
+                });
+            } else {
+                self.deliver_link_pair(ctx, node, link, pid, circuit, side, pair_info);
             }
         }
 
         // The link may start its next generation immediately (if qubits
         // remain free).
-        for (evs, _) in [(events, 0)] {
-            for e in evs {
-                if let LinkEvent::RequestDone(label) = e {
+        for e in events {
+            if let LinkEvent::RequestDone(label) = e {
+                if self.cfg.signalling_on_wire {
+                    for (from, to) in [(nb, na), (na, nb)] {
+                        let downstream = from == upstream_node;
+                        self.transmit_frame(ctx, from, to, downstream, |b| {
+                            qn_net::wire::encode_link_event(&LinkEvent::RequestDone(label), b)
+                        });
+                    }
+                } else {
                     self.trace.record(
                         ctx.now(),
                         TraceKind::Info,
@@ -978,10 +1833,24 @@ impl NetworkModel {
         for out in outs {
             match out {
                 NetOutput::SendUpstream(msg) => {
+                    self.maybe_arm_track_retry(ctx, node, circuit, false, &msg);
+                    self.maybe_schedule_request_resend(ctx, node, circuit, false, &msg);
                     self.send_message(ctx, node, circuit, false, msg);
                 }
                 NetOutput::SendDownstream(msg) => {
+                    self.maybe_arm_track_retry(ctx, node, circuit, true, &msg);
+                    self.maybe_schedule_request_resend(ctx, node, circuit, true, &msg);
                     self.send_message(ctx, node, circuit, true, msg);
+                }
+                NetOutput::TrackAcked { origin } => {
+                    // The peer end-node confirmed our TRACK: disarm the
+                    // retransmission. A stray ack (corruption, or an ack
+                    // raced by the retry it answers) is a silent no-op.
+                    if let Some(TrackRetry { event, .. }) =
+                        self.track_retransmits.remove(node, origin)
+                    {
+                        ctx.cancel(event);
+                    }
                 }
                 NetOutput::LinkSubmit {
                     side,
@@ -998,12 +1867,26 @@ impl NetworkModel {
                     });
                     for e in evs {
                         if let LinkEvent::Rejected(l, reason) = e {
-                            self.trace.record(
-                                ctx.now(),
-                                TraceKind::Info,
-                                format!("{node}"),
-                                format!("link request {l} rejected: {reason}"),
-                            );
+                            if self.cfg.signalling_on_wire {
+                                // The admission verdict comes back from
+                                // the link over the classical plane.
+                                let (la, lb) = self.links[link.0 as usize].proto.nodes();
+                                let peer = if la == node { lb } else { la };
+                                let downstream = side == LinkSide::Upstream;
+                                self.transmit_frame(ctx, peer, node, downstream, |b| {
+                                    qn_net::wire::encode_link_event(
+                                        &LinkEvent::Rejected(l, reason),
+                                        b,
+                                    )
+                                });
+                            } else {
+                                self.trace.record(
+                                    ctx.now(),
+                                    TraceKind::Info,
+                                    format!("{node}"),
+                                    format!("link request {l} rejected: {reason}"),
+                                );
+                            }
                         }
                     }
                     self.poll_link(ctx, link);
@@ -1130,6 +2013,17 @@ impl NetworkModel {
         delivery: qn_net::events::Delivery,
     ) {
         let now = ctx.now();
+        // A confirmed delivery resolves the local end of the chain, so
+        // its track-expiry timer must not fire later. Measured pairs
+        // bypass `release_end` (the qubit slot was freed at readout), so
+        // the cancellation lives here. Only the local end's correlator
+        // can be in this node's row; trying both sides of the chain is
+        // cheaper than resolving which end we are.
+        if let Some(chain) = delivery.chain {
+            for c in [chain.head, chain.tail] {
+                self.cancel_track_expiry(ctx, node, c);
+            }
+        }
         let (oracle, consistent, release) = match &delivery.kind {
             // Confirmed deliveries: read the oracle, then release the
             // local end (the application consumed the qubit). Fidelity is
@@ -1222,6 +2116,10 @@ impl NetworkModel {
         let mut new_refs = Vec::with_capacity(2);
         for (old_pid, consumed_corr) in [(up_pid, up), (down_pid, down)] {
             self.qubit_owner.remove(node, consumed_corr);
+            // The swap consumed the link pair at this node: its
+            // (wire-mode) reclamation timer and dedup entry are done.
+            self.cancel_track_expiry(ctx, node, consumed_corr);
+            self.link_delivered.remove(node, consumed_corr);
             if let Some(old) = self.refs.take(old_pid) {
                 for (n, c) in old {
                     if n == node && c == consumed_corr {
@@ -1261,6 +2159,9 @@ impl NetworkModel {
     /// releases pairs; the label mapping is removed so in-flight link
     /// generations for the circuit are dropped at delivery.
     fn teardown(&mut self, ctx: &mut Context<'_, Ev>, circuit: CircuitId) {
+        if self.cfg.signalling_on_wire {
+            return self.teardown_wire(ctx, circuit);
+        }
         let Some(rt) = self.circuit_rt(circuit) else {
             return;
         };
@@ -1268,13 +2169,18 @@ impl NetworkModel {
         // Byte-accurate signalling: the per-node TEARDOWN round-trips
         // through the wire codec like every other signalling message —
         // scratch-encoded, view-decoded (`circuit` read straight out of
-        // the frame bytes).
+        // the frame bytes). A failed round-trip is counted and the
+        // in-memory id used as-is; it never panics the runtime.
         let frame = self
             .scratch
             .frame(|b| qn_routing::wire::SignalMessage::Teardown { circuit }.encode_to(b));
-        let circuit = qn_routing::wire::SignalMessageView::parse(frame)
-            .expect("TEARDOWN frame must round-trip")
-            .circuit();
+        let circuit = match qn_routing::wire::SignalMessageView::parse(frame) {
+            Ok(view) => view.circuit(),
+            Err(_) => {
+                self.plane.stats.signal_decode_failures += 1;
+                circuit
+            }
+        };
         for node in path {
             let outs = self.nodes[node.0 as usize]
                 .qnp
@@ -1324,6 +2230,10 @@ impl NetworkModel {
             }
         }
         self.qubit_owner.remove(node, correlator);
+        // The dedup entry is done; the track-expiry timer stays armed —
+        // a measured pair still awaits its TRACK, and the timeout is
+        // what reclaims the request slot if that TRACK never arrives.
+        self.link_delivered.remove(node, correlator);
         if let Some(refs) = self.refs.get_mut(pid) {
             refs.retain(|(n, c)| !(*n == node && *c == correlator));
             if refs.is_empty() {
@@ -1363,7 +2273,32 @@ impl Model for NetworkModel {
                 // only the per-frame decodes can fail.
                 let view = qn_net::wire::BatchView::parse(&buf)
                     .expect("plane-built batch envelope is well-formed");
+                let wire = self.cfg.signalling_on_wire;
                 for frame in view.frames() {
+                    // One lane carries three planes; the kind byte
+                    // demuxes. Link-layer and signalling kinds only ever
+                    // appear with `signalling_on_wire` (their handlers
+                    // are total regardless).
+                    match frame.get(1).copied() {
+                        Some(k)
+                            if (qn_net::wire::KIND_LINK_PAIR_READY
+                                ..=qn_net::wire::KIND_LINK_REJECTED)
+                                .contains(&k) =>
+                        {
+                            self.handle_link_frame(ctx, to, frame);
+                            continue;
+                        }
+                        Some(k)
+                            if (qn_net::wire::KIND_SIGNAL_INSTALL
+                                ..=qn_net::wire::KIND_SIGNAL_TEARDOWN_ACK)
+                                .contains(&k) =>
+                        {
+                            self.handle_signal_frame(ctx, to, frame);
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    let is_track = frame.get(1).copied() == Some(qn_net::wire::KIND_TRACK);
                     // Borrow-decode at the receiver: a frame corrupted
                     // in flight may fail here (counted, dropped — the
                     // message is simply lost) or decode into a different
@@ -1372,7 +2307,40 @@ impl Model for NetworkModel {
                         .qnp
                         .handle_frame(from_upstream, frame)
                     {
-                        Ok((circuit, outs)) => self.process_outputs(ctx, to, circuit, outs),
+                        Ok((circuit, outs)) => {
+                            self.process_outputs(ctx, to, circuit, outs);
+                            // End-to-end TRACK acknowledgement: an
+                            // end-node receiving a TRACK (first copy or
+                            // duplicate — re-acks recover lost acks)
+                            // answers towards its origin. Guarded
+                            // structurally, not just by role: a
+                            // corrupted circuit id can name a circuit
+                            // this node is not an end of (or not on at
+                            // all), and the ack can only go where the
+                            // named circuit actually has a hop.
+                            let ack_down = !from_upstream;
+                            let can_ack = wire
+                                && is_track
+                                && self.circuit_rt(circuit).is_some_and(|rt| {
+                                    match rt.path.iter().position(|n| *n == to) {
+                                        Some(0) => ack_down && rt.path.len() > 1,
+                                        Some(i) => i + 1 == rt.path.len() && !ack_down,
+                                        None => false,
+                                    }
+                                });
+                            if can_ack {
+                                if let Ok(qn_net::wire::MessageView::Track(t)) =
+                                    qn_net::wire::MessageView::parse(frame)
+                                {
+                                    let ack = Message::TrackAck(TrackAck {
+                                        circuit,
+                                        origin: t.origin(),
+                                    });
+                                    self.plane.stats.track_acks += 1;
+                                    self.send_message(ctx, to, circuit, ack_down, ack);
+                                }
+                            }
+                        }
                         Err(err) => {
                             self.plane.stats.decode_failures += 1;
                             self.trace.record(
@@ -1391,6 +2359,7 @@ impl Model for NetworkModel {
                 circuit,
                 correlator,
             } => {
+                self.track_expiry_events.remove(node, correlator);
                 let outs = self.nodes[node.0 as usize]
                     .qnp
                     .handle(NetInput::TrackTimeout {
@@ -1398,6 +2367,41 @@ impl Model for NetworkModel {
                         correlator,
                     });
                 self.process_outputs(ctx, node, circuit, outs);
+            }
+            Ev::OrphanCheck {
+                node,
+                circuit,
+                correlator,
+                side,
+            } => {
+                // Announcement delivery is a single classical hop, so by
+                // now a pair the QNP has never heard of lost its
+                // PAIR_READY for good: reclaim the qubit and let the
+                // protocol bounce EXPIREs for any TRACK that references
+                // it. A resolved (delivered, swapped or discarded) pair
+                // makes this a no-op — the check is never cancelled.
+                if self.qubit_owner.get(node, correlator).is_some()
+                    && !self.nodes[node.0 as usize]
+                        .qnp
+                        .knows_pair(circuit, correlator)
+                {
+                    self.discarded_pairs += 1;
+                    self.trace.record(
+                        now,
+                        TraceKind::Discard,
+                        format!("{node}"),
+                        format!("orphaned pair {correlator} reclaimed"),
+                    );
+                    self.release_end(ctx, node, correlator, true);
+                    let outs = self.nodes[node.0 as usize]
+                        .qnp
+                        .handle(NetInput::LinkOrphaned {
+                            circuit,
+                            side,
+                            correlator,
+                        });
+                    self.process_outputs(ctx, node, circuit, outs);
+                }
             }
             Ev::GenDone { link } => self.gen_done(ctx, link),
             Ev::SwapDone {
@@ -1452,6 +2456,20 @@ impl Model for NetworkModel {
                     .handle(NetInput::CancelRequest { circuit, request });
                 self.process_outputs(ctx, head, circuit, outs);
             }
+            Ev::TrackRetransmit {
+                node,
+                circuit,
+                origin,
+            } => self.track_retransmit_fire(ctx, node, circuit, origin),
+            Ev::SignalKick { circuit } => self.signal_kick(ctx, circuit),
+            Ev::SignalRetransmit { circuit, hop } => self.signal_retransmit_fire(ctx, circuit, hop),
+            Ev::RequestResend {
+                node,
+                circuit,
+                downstream,
+                attempt,
+                msg,
+            } => self.request_resend_fire(ctx, node, circuit, downstream, attempt, msg),
             Ev::Teardown { circuit } => self.teardown(ctx, circuit),
             Ev::Checkpoint => {
                 self.pairs.advance_all(now);

@@ -410,6 +410,138 @@ fn duplication_storm_does_not_double_deliver() {
 }
 
 #[test]
+fn track_timeout_on_a_clean_plane_is_invisible() {
+    // Satellite of the TRACK-retransmission work: arming the per-pair
+    // expiry timer must be free on a fault-free plane. Every armed
+    // timer is cancelled when its pair resolves (delivery, discard,
+    // swap consumption), cancelled events are never dispatched, and
+    // arming draws no randomness — so a run with the timeout enabled
+    // is bit-identical to one without it: same delivery trajectory,
+    // same processed-event count, zero spurious discards.
+    let base = chain_run(4242, None, 6);
+    let topology = chain(4, HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut sim = NetworkBuilder::new(topology)
+        .seed(4242)
+        .track_timeout(SimDuration::from_secs(2))
+        .build();
+    let vc = sim
+        .open_circuit(NodeId(0), NodeId(3), 0.8, CutoffPolicy::short())
+        .unwrap();
+    sim.submit_at(SimTime::ZERO, vc, keep(1, NodeId(0), NodeId(3), 0.8, 6));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(45));
+
+    assert_eq!(trajectory(&base), trajectory(&sim));
+    assert_eq!(
+        base.events_processed(),
+        sim.events_processed(),
+        "a completed pair saw its expiry fire"
+    );
+    assert_eq!(base.discarded_pairs(), sim.discarded_pairs());
+    assert_eq!(base.node_stats(), sim.node_stats());
+}
+
+// ---------------------------------------------------------------------
+// Signalling on the wire
+// ---------------------------------------------------------------------
+
+fn wired_chain_run(seed: u64, faults: Option<ClassicalFaults>, n: u64) -> NetSim {
+    let topology = chain(4, HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut b = NetworkBuilder::new(topology)
+        .seed(seed)
+        .signalling_on_wire();
+    if let Some(f) = faults {
+        b = b
+            .classical_faults(f)
+            .track_timeout(SimDuration::from_secs(2));
+    }
+    let mut sim = b.build();
+    let (head, tail) = (NodeId(0), NodeId(3));
+    let vc = sim
+        .open_circuit(head, tail, 0.8, CutoffPolicy::short())
+        .unwrap();
+    sim.submit_at(SimTime::ZERO, vc, keep(1, head, tail, 0.8, n));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+    sim
+}
+
+#[test]
+fn wire_signalling_fault_free_completes_with_acked_tracks() {
+    // With `signalling_on_wire` the INSTALL chain walks the path, every
+    // PAIR_READY pays classical latency, and each endpoint TRACK is
+    // acknowledged end-to-end. On a fault-free plane nothing is lost
+    // and the request completes with every counter consistent. (TRACK
+    // retransmits still fire: the end-to-end ack takes a full chain
+    // round-trip, longer than the retransmit base — the receiver's
+    // dedup absorbs the copies.)
+    let sim = wired_chain_run(91, None, 6);
+    let app = sim.app();
+    assert!(app
+        .completed
+        .contains_key(&(qn_net::CircuitId(1), RequestId(1))));
+    for node in [NodeId(0), NodeId(3)] {
+        assert_eq!(
+            app.confirmed_deliveries(qn_net::CircuitId(1), node, SimTime::ZERO, SimTime::MAX),
+            6,
+            "{node} must confirm all 6 pairs"
+        );
+    }
+    let s = sim.classical_stats();
+    // The hop-by-hop install chain acked at every hop, every endpoint
+    // TRACK drew an ack, and nothing was lost on the wire.
+    assert!(s.signal_acks >= 3, "install acks missing: {s:?}");
+    assert!(s.track_acks > 0, "no TRACK acks on the wire");
+    assert_eq!(s.dropped + s.corrupted, 0);
+    assert_eq!(s.signal_retransmits, 0, "INSTALL acks are one hop: {s:?}");
+    assert_eq!(s.request_retransmits, 0, "redundancy needs a lossy wire");
+    assert_eq!(s.link_decode_failures + s.signal_decode_failures, 0);
+}
+
+#[test]
+fn wire_signalling_survives_heavy_drops_exactly_once() {
+    // The acceptance bar: 20% per-hop frame drops with signalling on
+    // the wire. Lost INSTALLs are retransmitted hop-by-hop, lost
+    // PAIR_READYs are reclaimed by the orphan timeout, lost TRACKs are
+    // retransmitted by the originating end-node until acked — the
+    // bounded request still completes with exactly n confirmed pairs
+    // per end, never more, and no quantum memory leaks.
+    let faults = ClassicalFaults {
+        drop: 0.2,
+        ..ClassicalFaults::OFF
+    };
+    let run = |seed| wired_chain_run(seed, Some(faults), 4);
+    let mut sim = run(97);
+    let app = sim.app();
+    assert!(
+        app.completed
+            .contains_key(&(qn_net::CircuitId(1), RequestId(1))),
+        "request did not complete under 20% drops"
+    );
+    for node in [NodeId(0), NodeId(3)] {
+        assert_eq!(
+            app.confirmed_deliveries(qn_net::CircuitId(1), node, SimTime::ZERO, SimTime::MAX),
+            4,
+            "{node}: over- or under-delivery under drops"
+        );
+    }
+    let s = sim.classical_stats();
+    assert!(s.dropped > 0, "no drops sampled");
+    assert!(
+        s.track_retransmits + s.signal_retransmits > 0,
+        "drops this heavy must trigger retransmission: {s:?}"
+    );
+    // Determinism: the whole faulty wired run is a pure function of the
+    // seed.
+    let again = run(97);
+    assert_eq!(trajectory(&sim), trajectory(&again));
+    assert_eq!(sim.classical_stats(), again.classical_stats());
+    assert_eq!(sim.node_stats(), again.node_stats());
+    assert_eq!(sim.events_processed(), again.events_processed());
+    // Drain: timeouts reclaim every orphaned pair.
+    sim.run_until(sim.now() + SimDuration::from_secs(10));
+    assert_eq!(sim.live_pairs(), 0, "pairs leaked under wire drops");
+}
+
+#[test]
 fn jitter_changes_timing_but_not_correctness() {
     let run = |jitter_us: u64| -> usize {
         let (topology, d) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());

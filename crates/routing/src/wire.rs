@@ -2,11 +2,12 @@
 //!
 //! The signalling protocol (§3.3, RSVP-TE style) installs and tears down
 //! virtual circuits by messaging every node on the path. This module
-//! pins the byte representation of those two per-node messages on top of
+//! pins the byte representation of those per-node messages on top of
 //! the shared codec primitives of [`qn_net::wire`], in the same
-//! versioned kind-byte registry (`0x20..=0x21`): a corrupted kind byte
+//! versioned kind-byte registry (`0x20..=0x23`): a corrupted kind byte
 //! cannot cross-decode a signalling frame as a data-plane message or
-//! vice versa.
+//! vice versa. The two acks exist for runtimes that carry signalling
+//! over a lossy plane and retransmit unacknowledged hops.
 //!
 //! The runtime round-trips every install/teardown through this codec
 //! (see `qn_netsim::runtime`), so the bytes — not the Rust structs —
@@ -16,7 +17,7 @@ use qn_net::ids::CircuitId;
 use qn_net::routing_table::RoutingEntry;
 use qn_net::wire::{
     put_header, read_header, DecodeError, Wire, WireReader, WireWriter, KIND_SIGNAL_INSTALL,
-    KIND_SIGNAL_TEARDOWN,
+    KIND_SIGNAL_INSTALL_ACK, KIND_SIGNAL_TEARDOWN, KIND_SIGNAL_TEARDOWN_ACK,
 };
 
 /// A routing-signalling message to one node on a circuit's path.
@@ -32,6 +33,18 @@ pub enum SignalMessage {
         /// The circuit to remove.
         circuit: CircuitId,
     },
+    /// Hop-by-hop acknowledgement of an INSTALL, sent back to the node
+    /// the INSTALL came from. Installed (or already-installed) nodes
+    /// always re-ack, so a lost ack is recovered by the retransmission.
+    InstallAck {
+        /// The acknowledged circuit.
+        circuit: CircuitId,
+    },
+    /// Hop-by-hop acknowledgement of a TEARDOWN.
+    TeardownAck {
+        /// The acknowledged circuit.
+        circuit: CircuitId,
+    },
 }
 
 impl SignalMessage {
@@ -45,6 +58,14 @@ impl SignalMessage {
             }
             SignalMessage::Teardown { circuit } => {
                 put_header(&mut w, KIND_SIGNAL_TEARDOWN);
+                circuit.encode(&mut w);
+            }
+            SignalMessage::InstallAck { circuit } => {
+                put_header(&mut w, KIND_SIGNAL_INSTALL_ACK);
+                circuit.encode(&mut w);
+            }
+            SignalMessage::TeardownAck { circuit } => {
+                put_header(&mut w, KIND_SIGNAL_TEARDOWN_ACK);
                 circuit.encode(&mut w);
             }
         }
@@ -66,6 +87,12 @@ impl SignalMessage {
                 entry: Wire::decode(&mut r)?,
             },
             KIND_SIGNAL_TEARDOWN => SignalMessage::Teardown {
+                circuit: Wire::decode(&mut r)?,
+            },
+            KIND_SIGNAL_INSTALL_ACK => SignalMessage::InstallAck {
+                circuit: Wire::decode(&mut r)?,
+            },
+            KIND_SIGNAL_TEARDOWN_ACK => SignalMessage::TeardownAck {
                 circuit: Wire::decode(&mut r)?,
             },
             kind => return Err(DecodeError::UnknownKind(kind)),
@@ -120,7 +147,7 @@ impl<'a> SignalMessageView<'a> {
                 r.skip_fields(&[8, 8])?;
                 kind
             }
-            kind @ KIND_SIGNAL_TEARDOWN => {
+            kind @ (KIND_SIGNAL_TEARDOWN | KIND_SIGNAL_INSTALL_ACK | KIND_SIGNAL_TEARDOWN_ACK) => {
                 r.skip(8)?;
                 kind
             }
@@ -148,14 +175,19 @@ impl<'a> SignalMessageView<'a> {
         // the payload through the field codecs cannot fail.
         let mut r = WireReader::new(self.frame);
         let _ = read_header(&mut r);
-        if self.kind == KIND_SIGNAL_INSTALL {
-            SignalMessage::Install {
+        match self.kind {
+            KIND_SIGNAL_INSTALL => SignalMessage::Install {
                 entry: Wire::decode(&mut r).expect("validated at parse"),
-            }
-        } else {
-            SignalMessage::Teardown {
+            },
+            KIND_SIGNAL_INSTALL_ACK => SignalMessage::InstallAck {
                 circuit: self.circuit(),
-            }
+            },
+            KIND_SIGNAL_TEARDOWN_ACK => SignalMessage::TeardownAck {
+                circuit: self.circuit(),
+            },
+            _ => SignalMessage::Teardown {
+                circuit: self.circuit(),
+            },
         }
     }
 }
@@ -218,25 +250,30 @@ mod tests {
             SignalMessage::Teardown {
                 circuit: CircuitId(77),
             },
+            SignalMessage::InstallAck {
+                circuit: CircuitId(78),
+            },
+            SignalMessage::TeardownAck {
+                circuit: CircuitId(79),
+            },
         ];
+        fn circuit_of(m: SignalMessage) -> CircuitId {
+            match m {
+                SignalMessage::Install { entry } => entry.circuit,
+                SignalMessage::Teardown { circuit }
+                | SignalMessage::InstallAck { circuit }
+                | SignalMessage::TeardownAck { circuit } => circuit,
+            }
+        }
         for m in msgs {
             let bytes = m.wire_bytes();
             let view = SignalMessageView::parse(&bytes).unwrap();
             assert_eq!(view.to_message(), m);
-            assert_eq!(
-                view.circuit(),
-                match m {
-                    SignalMessage::Install { entry } => entry.circuit,
-                    SignalMessage::Teardown { circuit } => circuit,
-                }
-            );
+            assert_eq!(view.circuit(), circuit_of(m));
             for len in 0..bytes.len() {
                 assert_eq!(
                     SignalMessageView::parse(&bytes[..len]).map(|v| v.circuit()),
-                    SignalMessage::decode(&bytes[..len]).map(|m| match m {
-                        SignalMessage::Install { entry } => entry.circuit,
-                        SignalMessage::Teardown { circuit } => circuit,
-                    }),
+                    SignalMessage::decode(&bytes[..len]).map(circuit_of),
                     "prefix of {len} bytes"
                 );
             }

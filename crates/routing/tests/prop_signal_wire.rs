@@ -1,6 +1,7 @@
-//! Fuzz the routing-signalling wire frames (INSTALL / TEARDOWN): exact
-//! round-trips over the full entry space, total decoding on arbitrary
-//! bytes, plane separation from the QNP data plane.
+//! Fuzz the routing-signalling wire frames (INSTALL / TEARDOWN and
+//! their acks): exact round-trips over the full entry space, total
+//! decoding on arbitrary bytes, plane separation from the QNP data
+//! plane.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -49,6 +50,12 @@ fn arb_signal() -> BoxedStrategy<SignalMessage> {
     prop_oneof![
         arb_entry().prop_map(|entry| SignalMessage::Install { entry }),
         any::<u64>().prop_map(|c| SignalMessage::Teardown {
+            circuit: CircuitId(c)
+        }),
+        any::<u64>().prop_map(|c| SignalMessage::InstallAck {
+            circuit: CircuitId(c)
+        }),
+        any::<u64>().prop_map(|c| SignalMessage::TeardownAck {
             circuit: CircuitId(c)
         }),
     ]
@@ -109,7 +116,9 @@ proptest! {
                 prop_assert!(view.is_install());
                 prop_assert_eq!(view.circuit(), entry.circuit);
             }
-            SignalMessage::Teardown { circuit } => {
+            SignalMessage::Teardown { circuit }
+            | SignalMessage::InstallAck { circuit }
+            | SignalMessage::TeardownAck { circuit } => {
                 prop_assert!(!view.is_install());
                 prop_assert_eq!(view.circuit(), *circuit);
             }

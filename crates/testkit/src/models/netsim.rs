@@ -102,12 +102,17 @@ pub struct NetsimSystem {
 pub struct NetsimSpec {
     seed: u64,
     fault: Option<NetsimFault>,
+    wired: bool,
 }
 
 impl NetsimSpec {
     /// A faithful runtime.
     pub fn new(seed: u64) -> Self {
-        NetsimSpec { seed, fault: None }
+        NetsimSpec {
+            seed,
+            fault: None,
+            wired: false,
+        }
     }
 
     /// A runtime with an injected fault (meta-tests).
@@ -115,6 +120,20 @@ impl NetsimSpec {
         NetsimSpec {
             seed,
             fault: Some(fault),
+            wired: false,
+        }
+    }
+
+    /// A faithful runtime with `signalling_on_wire` enabled: PAIR_READY
+    /// and INSTALL/TEARDOWN ride the classical plane, TRACKs are
+    /// acknowledged end-to-end and retransmitted. The service contract
+    /// the checker enforces is identical — wire signalling must be
+    /// invisible to applications on a fault-free plane.
+    pub fn wired(seed: u64) -> Self {
+        NetsimSpec {
+            seed,
+            fault: None,
+            wired: true,
         }
     }
 }
@@ -269,6 +288,9 @@ impl ModelSpec for NetsimSpec {
             }
             None => {}
         }
+        if self.wired {
+            b = b.signalling_on_wire();
+        }
         let mut sim = b.build();
         let (head, tail) = (NodeId(0), NodeId(2));
         let vc = sim
@@ -390,6 +412,24 @@ mod tests {
         match run_ops(&spec, &ops) {
             Ok(applied) => assert_eq!(applied, 3),
             Err(d) => panic!("faithful runtime diverged: step {} — {}", d.step, d.message),
+        }
+    }
+
+    #[test]
+    fn submit_settle_passes_with_signalling_on_wire() {
+        // The same contract must hold when every signalling frame rides
+        // the classical plane: installs walk the path, PAIR_READY pays
+        // latency, TRACKs get acked. Applications cannot tell.
+        let ops = [
+            NetOp::Submit { pairs: 2 },
+            NetOp::Advance { millis: 20 },
+            NetOp::Submit { pairs: 1 },
+            NetOp::Settle,
+        ];
+        let spec = NetsimSpec::wired(11);
+        match run_ops(&spec, &ops) {
+            Ok(applied) => assert_eq!(applied, 4),
+            Err(d) => panic!("wired runtime diverged: step {} — {}", d.step, d.message),
         }
     }
 
