@@ -1,0 +1,312 @@
+//! Chaos workload: a steady bounded-request stream over a wired chain
+//! whose links churn through a seeded component-fault schedule
+//! ([`FaultPlan`] MTBF/MTTR outages on every hop) — the PR-9
+//! robustness tentpole measured as a benchmark.
+//!
+//! Three headline metrics, all **simulation-domain deterministic**
+//! (pure functions of `(seed, config)`, diffed at `--tolerance 0`):
+//!
+//! * **availability** — the mean up-time fraction of the churned links
+//!   over the horizon, computed from the expanded schedule (the
+//!   workload's *input* severity, pinned so baseline drift in the
+//!   expansion itself is caught);
+//! * **completion rate under churn** — completed / submitted bounded
+//!   requests by the end of the settle window;
+//! * **recovery latency** — mean time from each link repair to the
+//!   next confirmed end-to-end delivery after it (how fast the
+//!   protocol pipeline refills once a hop returns).
+//!
+//! The scenario also reports post-settle leak counters (live pairs,
+//! armed timers, retained correlators), all pinned at zero: a fault
+//! schedule may cost throughput, never memory. The decoherence
+//! checkpoint policy is a config leg — [`ChaosConfig::checkpoint`]
+//! `None` (lazy on-touch) vs `Interval` runs must agree on every
+//! physical metric to ≤ 1e-12 (asserted in this module's tests and
+//! recorded as separate baseline points).
+
+use super::keep_request;
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_netsim::app::Payload;
+use qn_netsim::build::NetworkBuilder;
+use qn_netsim::{CheckpointPolicy, ComponentEvent, FaultPlan};
+use qn_routing::{chain, CutoffPolicy};
+use qn_sim::{NodeId, SimDuration, SimTime};
+
+/// Full configuration of one chaos run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosConfig {
+    /// Chain length (≥ 3: every request crosses at least one repeater).
+    pub n_nodes: usize,
+    /// Bounded KEEP requests submitted, one every `request_interval`.
+    pub n_requests: usize,
+    /// Pairs per request.
+    pub pairs_per_request: u64,
+    /// Spacing between submissions.
+    pub request_interval: SimDuration,
+    /// End-to-end fidelity target.
+    pub fidelity: f64,
+    /// Mean time between failures, per link.
+    pub mtbf: SimDuration,
+    /// Mean time to repair, per link.
+    pub mttr: SimDuration,
+    /// Churn horizon: failures are drawn up to here.
+    pub horizon: SimDuration,
+    /// Extra quiescent run after the horizon (drain + leak check).
+    pub settle: SimDuration,
+    /// Periodic decoherence checkpoint interval (`None` = the lazy
+    /// on-touch default).
+    pub checkpoint: Option<SimDuration>,
+}
+
+impl ChaosConfig {
+    /// A CI-smoke-sized configuration: a 4-chain, 8 two-pair requests
+    /// over 12 simulated seconds of churn (mean 600 ms between
+    /// failures, 80 ms repairs per link), 12 s settle — half of it the
+    /// post-cancel drain, which must exceed the full TRACK retransmit
+    /// backoff budget (~5.1 s) for the leak counters to read zero.
+    pub fn smoke(n_requests: usize, checkpoint: Option<SimDuration>) -> Self {
+        ChaosConfig {
+            n_nodes: 4,
+            n_requests,
+            pairs_per_request: 2,
+            request_interval: SimDuration::from_millis(1_200),
+            fidelity: 0.8,
+            mtbf: SimDuration::from_millis(600),
+            mttr: SimDuration::from_millis(80),
+            horizon: SimDuration::from_secs(12),
+            settle: SimDuration::from_secs(12),
+            checkpoint: checkpoint.or(Some(SimDuration::from_millis(250))),
+        }
+    }
+
+    /// The lazy-checkpoint twin of this config (satellite: Interval vs
+    /// on-touch runs must agree on physical metrics to ≤ 1e-12).
+    pub fn lazy(mut self) -> Self {
+        self.checkpoint = None;
+        self
+    }
+}
+
+/// Deterministic results of one chaos run. Every field is a pure
+/// function of `(seed, config)` — no wall-clock anywhere.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosPoint {
+    /// Requests submitted.
+    pub requests_submitted: usize,
+    /// Requests completed by the end of the settle window.
+    pub requests_completed: usize,
+    /// Requests cancelled at the mid-settle grace deadline (abandoned
+    /// by the bounded retransmission budget during churn).
+    pub requests_cancelled: usize,
+    /// Completed / submitted.
+    pub completion_rate: f64,
+    /// Confirmed end-to-end pairs delivered (both ends confirmed).
+    pub pairs_delivered: usize,
+    /// Link outages drawn by the schedule inside the horizon.
+    pub outages: usize,
+    /// Mean up-time fraction of the churned links over the horizon.
+    pub availability: f64,
+    /// Mean time (seconds) from a link repair to the next confirmed
+    /// delivery after it; NaN when no repair saw a later delivery.
+    pub recovery_latency_s: f64,
+    /// Live pairs + armed timers + retained correlator records after
+    /// the settle — pinned at zero (a fault schedule must not leak).
+    pub leaked: usize,
+    /// Simulation events processed (informational: differs between
+    /// checkpoint legs by the sweep events themselves).
+    pub events_processed: u64,
+}
+
+/// The per-link churn plan for a config.
+fn churn_plan(cfg: &ChaosConfig, topology: &qn_routing::Topology) -> FaultPlan {
+    let mut plan = FaultPlan::new().horizon(SimTime::ZERO + cfg.horizon);
+    for l in topology.links() {
+        plan = plan.link_mtbf(l.a, l.b, cfg.mtbf, cfg.mttr);
+    }
+    plan
+}
+
+/// One chaos run: submit the request stream over the churning chain,
+/// run to the horizon plus the settle, and measure.
+pub fn chaos_scenario(seed: u64, cfg: &ChaosConfig) -> ChaosPoint {
+    let topology = chain(
+        cfg.n_nodes,
+        HardwareParams::simulation(),
+        FibreParams::lab_2m(),
+    );
+    let plan = churn_plan(cfg, &topology);
+    // The schedule's input severity, measured from the same expansion
+    // the runtime will execute.
+    let schedule = plan.expand(seed);
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let mut down_at = std::collections::BTreeMap::new();
+    let mut downtime = SimDuration::ZERO;
+    let mut outages = 0usize;
+    let mut repairs: Vec<SimTime> = Vec::new();
+    for (at, ev) in &schedule {
+        match ev {
+            ComponentEvent::LinkDown { a, b } => {
+                down_at.insert((*a, *b), *at);
+                outages += 1;
+            }
+            ComponentEvent::LinkUp { a, b } => {
+                if let Some(t0) = down_at.remove(&(*a, *b)) {
+                    downtime += (*at).min(horizon).since(t0.min(horizon));
+                    if *at < horizon {
+                        repairs.push(*at);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let n_links = topology.links().len();
+    let availability = 1.0 - downtime.as_secs_f64() / (cfg.horizon.as_secs_f64() * n_links as f64);
+
+    let mut builder = NetworkBuilder::new(topology)
+        .seed(seed)
+        .signalling_on_wire()
+        .track_timeout(SimDuration::from_secs(2))
+        .fault_plan(plan);
+    if let Some(dt) = cfg.checkpoint {
+        builder = builder.checkpoint(CheckpointPolicy::Interval(dt));
+    }
+    let mut sim = builder.build();
+    let (head, tail) = (NodeId(0), NodeId((cfg.n_nodes - 1) as u32));
+    let vc = sim
+        .open_circuit(head, tail, cfg.fidelity, CutoffPolicy::short())
+        .expect("chain circuit plans");
+    for i in 0..cfg.n_requests {
+        sim.submit_at(
+            SimTime::ZERO + cfg.request_interval * i as u64,
+            vc,
+            keep_request(
+                i as u64 + 1,
+                head,
+                tail,
+                cfg.fidelity,
+                cfg.pairs_per_request,
+            ),
+        );
+    }
+    // First half of the settle: a quiescent grace window in which any
+    // request whose retransmission budget survived the churn completes.
+    // Then cancel the stragglers — bounded requests abandoned by the
+    // bounded-redundancy protocol would otherwise generate pairs
+    // forever — and drain the second half, after which the leak
+    // counters must read zero.
+    let grace = horizon + cfg.settle / 2;
+    sim.run_until(grace);
+    // Natural completions only: cancelling a bounded request also ends
+    // it with a COMPLETE (and a RequestCompleted notification), so the
+    // completion count is snapshotted before the cancellations go in.
+    let requests_completed = sim.app().completed.len();
+    let mut cancelled = 0usize;
+    for i in 0..cfg.n_requests {
+        let id = qn_net::RequestId(i as u64 + 1);
+        if !sim.app().completed.contains_key(&(vc, id)) {
+            sim.cancel_at(grace, vc, id);
+            cancelled += 1;
+        }
+    }
+    sim.run_until(horizon + cfg.settle);
+
+    let app = sim.app();
+    let confirmed: Vec<SimTime> = app
+        .deliveries
+        .iter()
+        .filter(|d| {
+            matches!(
+                d.payload,
+                Payload::Qubit { .. } | Payload::EarlyTracking { .. }
+            )
+        })
+        .map(|d| d.time)
+        .collect();
+    // Recovery latency: each repair inside the horizon, matched to the
+    // first confirmed delivery at-or-after it (deliveries are recorded
+    // in time order).
+    let mut lat_sum = 0.0f64;
+    let mut lat_n = 0usize;
+    for r in &repairs {
+        if let Some(d) = confirmed.iter().find(|t| **t >= *r) {
+            lat_sum += d.since(*r).as_secs_f64();
+            lat_n += 1;
+        }
+    }
+    let recovery_latency_s = if lat_n > 0 {
+        lat_sum / lat_n as f64
+    } else {
+        f64::NAN
+    };
+    let leaked = sim.live_pairs() + sim.armed_timers() + sim.retained_correlators();
+    ChaosPoint {
+        requests_submitted: cfg.n_requests,
+        requests_completed,
+        requests_cancelled: cancelled,
+        completion_rate: requests_completed as f64 / cfg.n_requests.max(1) as f64,
+        pairs_delivered: confirmed.len() / 2,
+        outages,
+        availability,
+        recovery_latency_s,
+        leaked,
+        events_processed: sim.events_processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg() -> ChaosConfig {
+        ChaosConfig::smoke(6, None)
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let cfg = smoke_cfg();
+        assert_eq!(chaos_scenario(5100, &cfg), chaos_scenario(5100, &cfg));
+    }
+
+    #[test]
+    fn churn_fires_and_nothing_leaks() {
+        let cfg = smoke_cfg();
+        let p = chaos_scenario(5100, &cfg);
+        assert!(p.outages > 0, "12 s at 600 ms MTBF must draw outages");
+        assert!(
+            p.availability > 0.0 && p.availability < 1.0,
+            "availability {p:?}"
+        );
+        assert_eq!(p.leaked, 0, "fault schedule leaked: {p:?}");
+        assert!(p.requests_completed > 0, "churn starved everything: {p:?}");
+        assert!(p.requests_completed <= p.requests_submitted);
+    }
+
+    #[test]
+    fn checkpoint_interval_matches_lazy_physics() {
+        // The ROADMAP tail: the periodic whole-store decoherence sweep
+        // must be physically invisible — every sim-domain metric except
+        // the event count (the sweep events themselves) agrees with the
+        // lazy on-touch default to ≤ 1e-12.
+        let interval = smoke_cfg();
+        let lazy = smoke_cfg().lazy();
+        assert!(interval.checkpoint.is_some() && lazy.checkpoint.is_none());
+        for seed in [5100, 5101] {
+            let a = chaos_scenario(seed, &interval);
+            let b = chaos_scenario(seed, &lazy);
+            assert_eq!(a.requests_submitted, b.requests_submitted);
+            assert_eq!(a.requests_completed, b.requests_completed);
+            assert_eq!(a.pairs_delivered, b.pairs_delivered);
+            assert_eq!(a.outages, b.outages);
+            assert_eq!(a.leaked, 0);
+            assert_eq!(b.leaked, 0);
+            assert!((a.completion_rate - b.completion_rate).abs() <= 1e-12);
+            assert!((a.availability - b.availability).abs() <= 1e-12);
+            let lat = (a.recovery_latency_s, b.recovery_latency_s);
+            match lat {
+                (x, y) if x.is_nan() && y.is_nan() => {}
+                (x, y) => assert!((x - y).abs() <= 1e-12, "recovery latency diverged: {lat:?}"),
+            }
+        }
+    }
+}

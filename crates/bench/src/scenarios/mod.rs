@@ -8,6 +8,7 @@
 //! guaranteeing bit-identical results at any thread count.
 
 mod ablation;
+mod chaos;
 mod diversity;
 mod fig10;
 mod fig11;
@@ -16,6 +17,7 @@ mod fig9;
 mod openworld;
 
 pub use ablation::{chain_point_scenario, cutoff_point_scenario, ChainPoint, CutoffPoint};
+pub use chaos::{chaos_scenario, ChaosConfig, ChaosPoint};
 pub use diversity::{wide_dumbbell_scenario, WideDumbbellPoint};
 pub use fig10::{fig10ab_scenario, fig10c_scenario, Fig10Point, Fig10Variant, Fig10cPoint};
 pub use fig11::{fig11_plan, fig11_scenario};

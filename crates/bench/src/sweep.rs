@@ -189,6 +189,18 @@ pub fn openworld_sweep(
     )
 }
 
+/// Chaos workload sweep: one component-fault churn run per seed.
+pub fn chaos_sweep(
+    seeds: &[u64],
+    cfg: &crate::scenarios::ChaosConfig,
+) -> Vec<crate::scenarios::ChaosPoint> {
+    let cfg = cfg.clone();
+    run_sweep(
+        move |seed: u64| crate::scenarios::chaos_scenario(seed, &cfg),
+        seeds,
+    )
+}
+
 /// Fig 10a,b sweep: one decoherence run per seed.
 pub fn fig10ab_sweep(seeds: &[u64], t2: f64, variant: Fig10Variant) -> Vec<Fig10Point> {
     run_sweep(move |seed: u64| fig10ab_scenario(seed, t2, variant), seeds)

@@ -61,6 +61,9 @@ pub struct LinkProtocol {
     /// Label currently being generated for (at most one; a link runs one
     /// midpoint interference process at a time).
     in_flight: Option<LinkLabel>,
+    /// Generation paused (component fault: the physical link is down).
+    /// Active requests stay queued; admission rejects new ones.
+    paused: bool,
 }
 
 impl LinkProtocol {
@@ -74,6 +77,7 @@ impl LinkProtocol {
             requests: BTreeMap::new(),
             next_seq: 0,
             in_flight: None,
+            paused: false,
         }
     }
 
@@ -89,6 +93,13 @@ impl LinkProtocol {
 
     /// Submit a request. Admission control rejects duplicate labels,
     /// invalid weights and unattainable fidelities (QoS property iv).
+    ///
+    /// A request submitted while the link is paused (physical outage) is
+    /// admitted and held, exactly like requests admitted before the
+    /// pause: generation starts when the link resumes. Rejecting it
+    /// instead would silently kill the hop for the rest of the circuit's
+    /// life — the network layer submits its per-circuit stream once and
+    /// has no retry path for a verdict the wire may deliver or drop.
     pub fn submit(&mut self, req: LinkRequest) -> Vec<LinkEvent> {
         if self.requests.contains_key(&req.label) {
             return vec![LinkEvent::Rejected(req.label, RejectReason::DuplicateLabel)];
@@ -138,6 +149,30 @@ impl LinkProtocol {
         }
     }
 
+    /// Pause generation (the physical link went down). Queued requests
+    /// stay admitted and resume their fair share on [`LinkProtocol::resume`];
+    /// the runtime must abort any in-flight generation separately via
+    /// [`LinkProtocol::on_generation_aborted`].
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    /// Resume generation after a pause (the link came back up).
+    pub fn resume(&mut self) {
+        self.paused = false;
+    }
+
+    /// Whether generation is paused (link down).
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Active request labels, in label order (diagnostics and fault
+    /// handling: the runtime walks these when a component dies).
+    pub fn active_labels(&self) -> Vec<LinkLabel> {
+        self.requests.keys().copied().collect()
+    }
+
     /// Whether a request with this label is active.
     pub fn has_request(&self, label: LinkLabel) -> bool {
         self.requests.contains_key(&label)
@@ -152,7 +187,7 @@ impl LinkProtocol {
     /// answer until the schedule state changes. `None` while a generation
     /// is in flight or no requests are active.
     pub fn next_action(&self) -> Option<GenerateSpec> {
-        if self.in_flight.is_some() {
+        if self.paused || self.in_flight.is_some() {
             return None;
         }
         let label = self.scheduler.next()?;
@@ -382,6 +417,26 @@ mod tests {
         assert!(p.stop(LinkLabel(1)));
         assert_eq!(p.generating(), None);
         assert!(p.next_action().is_none());
+    }
+
+    #[test]
+    fn pause_halts_generation_and_queues_admission() {
+        let mut p = proto();
+        p.submit(req(1, 0.9, PairDemand::Count(2), 1.0));
+        p.pause();
+        assert!(p.is_paused());
+        assert!(p.next_action().is_none(), "no work while paused");
+        // A request submitted during the outage is admitted and held —
+        // losing it would leave the hop permanently idle, since the
+        // network layer submits its per-circuit stream exactly once.
+        let evs = p.submit(req(2, 0.9, PairDemand::Continuous, 1.0));
+        assert!(evs.is_empty(), "admission during a pause: {evs:?}");
+        assert_eq!(p.active_labels(), vec![LinkLabel(1), LinkLabel(2)]);
+        assert!(p.next_action().is_none(), "still no work while paused");
+        // Resuming restores both requests' turns.
+        p.resume();
+        assert!(!p.is_paused());
+        assert_eq!(p.next_action().unwrap().label, LinkLabel(1));
     }
 
     #[test]

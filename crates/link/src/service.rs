@@ -97,6 +97,8 @@ pub enum RejectReason {
     DuplicateLabel,
     /// The weight was not a positive finite number.
     InvalidWeight,
+    /// The link is administratively or physically down (component fault).
+    LinkDown,
 }
 
 impl fmt::Display for RejectReason {
@@ -105,6 +107,7 @@ impl fmt::Display for RejectReason {
             RejectReason::FidelityUnattainable => "requested fidelity unattainable on this link",
             RejectReason::DuplicateLabel => "label already in use",
             RejectReason::InvalidWeight => "invalid scheduling weight",
+            RejectReason::LinkDown => "link is down",
         };
         f.write_str(s)
     }

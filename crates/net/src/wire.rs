@@ -439,6 +439,7 @@ impl Wire for RejectReason {
             RejectReason::FidelityUnattainable => 0,
             RejectReason::DuplicateLabel => 1,
             RejectReason::InvalidWeight => 2,
+            RejectReason::LinkDown => 3,
         });
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
@@ -446,6 +447,7 @@ impl Wire for RejectReason {
             0 => Ok(RejectReason::FidelityUnattainable),
             1 => Ok(RejectReason::DuplicateLabel),
             2 => Ok(RejectReason::InvalidWeight),
+            3 => Ok(RejectReason::LinkDown),
             value => Err(DecodeError::BadTag {
                 field: "reject_reason",
                 value,

@@ -179,7 +179,8 @@ fn arb_link_event() -> BoxedStrategy<LinkEvent> {
             prop_oneof![
                 Just(RejectReason::FidelityUnattainable),
                 Just(RejectReason::DuplicateLabel),
-                Just(RejectReason::InvalidWeight)
+                Just(RejectReason::InvalidWeight),
+                Just(RejectReason::LinkDown)
             ]
         )
             .prop_map(|(l, r)| LinkEvent::Rejected(LinkLabel(l), r)),

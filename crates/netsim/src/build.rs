@@ -3,6 +3,7 @@
 
 use crate::app::AppHarness;
 use crate::classical::{ClassicalFaults, ClassicalStats};
+use crate::faults::FaultPlan;
 use crate::runtime::{CheckpointPolicy, Ev, NetworkModel, RetransmitConfig, RuntimeConfig};
 use qn_net::ids::{CircuitId, RequestId};
 use qn_net::node::NodeStats;
@@ -139,14 +140,65 @@ impl NetworkBuilder {
         self
     }
 
+    /// Inject component faults: a seeded schedule of link outages and
+    /// node crashes/restarts (deterministic events plus MTBF/MTTR
+    /// stochastic specs, see [`FaultPlan`]). The default empty plan
+    /// schedules no events and draws no randomness — bit-identical to a
+    /// run without this call.
+    ///
+    /// # Panics
+    ///
+    /// If the plan fails [`FaultPlan::validate`] against this builder's
+    /// topology (an unknown link or node, a repair without a preceding
+    /// failure, an event beyond the horizon, a stochastic spec without
+    /// positive moments or a horizon).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        if let Err(e) = plan.validate(&self.topology) {
+            panic!("invalid FaultPlan: {e}");
+        }
+        self.cfg.fault_plan = plan;
+        self
+    }
+
+    /// Override the message-level fault model on one link (both
+    /// directions of the hop). Links without an override keep the
+    /// global [`NetworkBuilder::classical_faults`] config; a run with
+    /// no overrides is bit-identical to one built without this call.
+    ///
+    /// # Panics
+    ///
+    /// If `faults` fails [`ClassicalFaults::validate`] or `(a, b)` is
+    /// not a link of this builder's topology.
+    pub fn link_faults(mut self, a: NodeId, b: NodeId, faults: ClassicalFaults) -> Self {
+        if let Err(e) = faults.validate() {
+            panic!("invalid ClassicalFaults for link {a}-{b}: {e}");
+        }
+        if self.topology.link_between(a, b).is_none() {
+            panic!("link_faults: no link {a}-{b} in the topology");
+        }
+        self.cfg.link_faults.push((a, b, faults));
+        self
+    }
+
     /// Build the simulation.
     pub fn build(self) -> NetSim {
         let topology = self.topology.clone();
         let checkpoint = self.cfg.checkpoint;
+        let fault_plan = self.cfg.fault_plan.clone();
+        let seed = self.seed;
         let model = NetworkModel::new(self.topology, self.seed, self.cfg);
         let mut sim = Simulation::new(model);
         if let CheckpointPolicy::Interval(dt) = checkpoint {
             sim.schedule_at(SimTime::ZERO + dt, Ev::Checkpoint);
+        }
+        // Expand the component-fault plan into concrete scheduled
+        // events before the run starts: deterministic per (plan, seed),
+        // independent of everything the simulation itself draws. The
+        // empty plan expands to nothing and touches no RNG.
+        if !fault_plan.is_empty() {
+            for (at, event) in fault_plan.expand(seed) {
+                sim.schedule_at(at, Ev::ComponentFault { event });
+            }
         }
         NetSim {
             sim,
@@ -270,6 +322,19 @@ impl NetSim {
     /// Number of live entangled pairs (diagnostics).
     pub fn live_pairs(&self) -> usize {
         self.sim.model().pairs.len()
+    }
+
+    /// Timers currently armed with the scheduler: cutoffs, track
+    /// expiries and retransmits. Zero after a settled run — chaos tests
+    /// assert this to prove fault schedules leak nothing.
+    pub fn armed_timers(&self) -> usize {
+        self.sim.model().armed_timers()
+    }
+
+    /// Correlator state the runtime retains (live pair ends plus
+    /// PAIR_READY dedup records). Zero after a settled run.
+    pub fn retained_correlators(&self) -> usize {
+        self.sim.model().retained_correlators()
     }
 
     /// Events processed so far.

@@ -184,9 +184,21 @@ pub struct ClassicalStats {
     /// Delivered frames the receiver could not decode (dropped there;
     /// incremented by the runtime, not by [`ClassicalPlane`]).
     pub decode_failures: u64,
+    /// [`ClassicalStats::decode_failures`] broken down by the *observed*
+    /// kind byte of the undecodable frame: indices 0..=4 are the data
+    /// kinds FORWARD, COMPLETE, TRACK, EXPIRE, TRACK_ACK
+    /// (`qn_net::wire::KIND_FORWARD..=KIND_TRACK_ACK`); index 5 collects
+    /// frames whose kind byte itself was corrupted (or missing). Sums to
+    /// the total.
+    pub decode_failures_by_kind: [u64; 6],
     /// Link-plane (PAIR_READY/REQUEST_DONE/REJECTED) frames the receiver
     /// could not decode (runtime-incremented, `signalling_on_wire` only).
     pub link_decode_failures: u64,
+    /// [`ClassicalStats::link_decode_failures`] by observed kind:
+    /// indices 0..=2 are PAIR_READY, REQUEST_DONE, REJECTED
+    /// (`qn_net::wire::KIND_LINK_PAIR_READY..=KIND_LINK_REJECTED`);
+    /// index 3 collects anything else. Sums to the total.
+    pub link_decode_failures_by_kind: [u64; 4],
     /// Routing-plane (INSTALL/TEARDOWN and acks) frames the receiver
     /// could not decode (runtime-incremented, `signalling_on_wire` only).
     pub signal_decode_failures: u64,
@@ -224,6 +236,35 @@ impl ClassicalStats {
         } else {
             self.delivered as f64 / self.batches as f64
         }
+    }
+
+    /// Count one undecodable data-plane frame, bucketed by its observed
+    /// kind byte (`None` when the frame was too short to carry one).
+    pub fn count_decode_failure(&mut self, kind: Option<u8>) {
+        self.decode_failures += 1;
+        let i = match kind {
+            Some(k) if (qn_net::wire::KIND_FORWARD..=qn_net::wire::KIND_TRACK_ACK).contains(&k) => {
+                (k - qn_net::wire::KIND_FORWARD) as usize
+            }
+            _ => 5,
+        };
+        self.decode_failures_by_kind[i] += 1;
+    }
+
+    /// Count one undecodable link-plane frame, bucketed by its observed
+    /// kind byte.
+    pub fn count_link_decode_failure(&mut self, kind: Option<u8>) {
+        self.link_decode_failures += 1;
+        let i = match kind {
+            Some(k)
+                if (qn_net::wire::KIND_LINK_PAIR_READY..=qn_net::wire::KIND_LINK_REJECTED)
+                    .contains(&k) =>
+            {
+                (k - qn_net::wire::KIND_LINK_PAIR_READY) as usize
+            }
+            _ => 3,
+        };
+        self.link_decode_failures_by_kind[i] += 1;
     }
 }
 
@@ -316,10 +357,30 @@ impl ClassicalPlane {
         rng_latency: &mut SimRng,
         frame: &[u8],
     ) -> [Option<BatchOpen>; 2] {
+        let faults = self.faults;
+        self.transmit_with(faults, from, to, lane, now, channel, rng_latency, frame)
+    }
+
+    /// [`ClassicalPlane::transmit`] with an explicit fault model for
+    /// this frame's hop (per-link fault overrides). Draws come from the
+    /// same single `classical-faults` substream in the same order, so
+    /// passing the plane's own config is exactly `transmit`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transmit_with(
+        &mut self,
+        faults: ClassicalFaults,
+        from: NodeId,
+        to: NodeId,
+        lane: bool,
+        now: SimTime,
+        channel: &ChannelModel,
+        rng_latency: &mut SimRng,
+        frame: &[u8],
+    ) -> [Option<BatchOpen>; 2] {
         self.stats.sent += 1;
         self.stats.wire_bytes += frame.len() as u64;
         let latency = channel.sample_latency(rng_latency);
-        if !self.faults.enabled() {
+        if !faults.enabled() {
             // Pass-through: identical draws, clamping and timing as the
             // plain reliable transport.
             let at = self.transport.schedule(from, to, now, latency);
@@ -329,36 +390,36 @@ impl ClassicalPlane {
 
         // Fault draws in a fixed order (drop, corrupt, reorder,
         // duplicate) so a run is a pure function of (seed, config).
-        if self.faults.drop > 0.0 && self.rng_faults.bernoulli(self.faults.drop) {
+        if faults.drop > 0.0 && self.rng_faults.bernoulli(faults.drop) {
             self.stats.dropped += 1;
             return [None, None];
         }
         let mut work = std::mem::take(&mut self.fault_scratch);
         work.clear();
         work.extend_from_slice(frame);
-        if self.faults.corrupt > 0.0 && self.rng_faults.bernoulli(self.faults.corrupt) {
+        if faults.corrupt > 0.0 && self.rng_faults.bernoulli(faults.corrupt) {
             if !work.is_empty() {
                 let bit = self.rng_faults.below(work.len() as u64 * 8);
                 work[(bit / 8) as usize] ^= 1 << (bit % 8);
                 self.stats.corrupted += 1;
             }
         }
-        let reordered = self.faults.reorder > 0.0 && self.rng_faults.bernoulli(self.faults.reorder);
+        let reordered = faults.reorder > 0.0 && self.rng_faults.bernoulli(faults.reorder);
         let primary_at = if reordered {
             // A datagram that escaped the stream: it neither respects
             // nor advances the in-order clamp, and gains extra latency
             // so later sends can overtake it.
             self.stats.reordered += 1;
-            now + latency + self.extra_delay()
+            now + latency + self.extra_delay(faults.reorder_window)
         } else {
             self.transport.schedule(from, to, now, latency)
         };
         let first = self.append(from, to, lane, primary_at, &work);
         self.stats.delivered += 1;
         let mut second = None;
-        if self.faults.duplicate > 0.0 && self.rng_faults.bernoulli(self.faults.duplicate) {
+        if faults.duplicate > 0.0 && self.rng_faults.bernoulli(faults.duplicate) {
             self.stats.duplicated += 1;
-            let dup_at = primary_at + self.extra_delay();
+            let dup_at = primary_at + self.extra_delay(faults.reorder_window);
             second = self.append(from, to, lane, dup_at, &work);
             self.stats.delivered += 1;
         }
@@ -413,8 +474,8 @@ impl ClassicalPlane {
         }
     }
 
-    fn extra_delay(&mut self) -> SimDuration {
-        let window = self.faults.reorder_window.as_ps();
+    fn extra_delay(&mut self, reorder_window: SimDuration) -> SimDuration {
+        let window = reorder_window.as_ps();
         if window == 0 {
             SimDuration::ZERO
         } else {

@@ -1,0 +1,544 @@
+//! Component fault plans: scheduled link outages and node crashes.
+//!
+//! Where [`crate::classical::ClassicalFaults`] perturbs individual
+//! *messages* (drop / duplicate / reorder / corrupt), a [`FaultPlan`]
+//! takes whole *components* out of service: a link stops generating
+//! entanglement and eats every classical frame on its hop, a node loses
+//! its volatile protocol state. Plans combine two ingredients:
+//!
+//! * **deterministic events** — `LinkDown`/`LinkUp` for a link and
+//!   `NodeCrash`/`NodeRestart` for a node, each at an explicit instant
+//!   ([`FaultPlan::link_down_at`] and friends, or the
+//!   [`FaultPlan::link_outage`] / [`FaultPlan::node_outage`] pairs);
+//! * **stochastic schedules** — per-component MTBF/MTTR
+//!   ([`FaultPlan::link_mtbf`], [`FaultPlan::node_mtbf`]): exponential
+//!   up-times and repair-times expanded into a concrete event list at
+//!   build time from the dedicated `"component-faults"` RNG substream,
+//!   one independent substream per declared component. The expansion
+//!   happens *before* the simulation starts, so a faulted run stays a
+//!   pure function of `(seed, plan)` and the main simulation streams
+//!   never observe an extra draw.
+//!
+//! An **empty plan is bit-invisible**: [`FaultPlan::is_empty`] gates all
+//! runtime scheduling, so a build without faults performs zero extra
+//! event-queue operations and zero RNG draws. Validation is fail-fast at
+//! build ([`FaultPlan::validate`], mirroring
+//! [`crate::classical::ClassicalFaults::validate`]): unknown components,
+//! a `LinkUp` with no preceding `LinkDown` (or restart without crash),
+//! and events scheduled past the declared horizon are all rejected
+//! before any event is queued.
+
+use qn_routing::topology::Topology;
+use qn_sim::{NodeId, SimDuration, SimRng, SimTime};
+
+/// One component-level fault event, applied by the runtime at its
+/// scheduled instant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ComponentEvent {
+    /// The physical link between `a` and `b` goes down: generation
+    /// halts, in-flight generation is aborted, live pairs of the link
+    /// are expired, and classical frames on the hop are dropped.
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The link comes back up and resumes generation for the requests
+    /// still queued on it.
+    LinkUp {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The node crashes: volatile protocol state is lost, its qubits
+    /// are freed, its timers disarmed, and every circuit through it is
+    /// torn down end-to-end.
+    NodeCrash {
+        /// The crashing node.
+        node: NodeId,
+    },
+    /// The node restarts with empty protocol state and re-registers its
+    /// links; stale correlators arriving later are absorbed as
+    /// anomalous inputs.
+    NodeRestart {
+        /// The restarting node.
+        node: NodeId,
+    },
+}
+
+/// The component a stochastic schedule applies to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Component {
+    Link { a: NodeId, b: NodeId },
+    Node(NodeId),
+}
+
+/// Stochastic fault model for one component: mean time between failures
+/// and mean time to repair, both exponentially distributed.
+#[derive(Clone, Copy, Debug)]
+struct FailureModel {
+    mtbf: SimDuration,
+    mttr: SimDuration,
+}
+
+/// A schedule of component faults for one run. See the module docs for
+/// the grammar; configure with [`crate::build::NetworkBuilder::fault_plan`].
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Explicit events in insertion order (time, event).
+    events: Vec<(SimTime, ComponentEvent)>,
+    /// Stochastic per-component schedules in insertion order.
+    stochastic: Vec<(Component, FailureModel)>,
+    /// Horizon bounding the plan: no deterministic event may lie beyond
+    /// it and stochastic expansion stops drawing failures at it.
+    /// Required whenever stochastic schedules are declared.
+    horizon: Option<SimTime>,
+}
+
+impl FaultPlan {
+    /// An empty plan (bit-invisible: schedules nothing, draws nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare the plan's horizon: deterministic events beyond it fail
+    /// validation, and stochastic failures are only drawn before it
+    /// (each drawn failure still gets its repair, which may land past
+    /// the horizon so every outage recovers).
+    pub fn horizon(mut self, at: SimTime) -> Self {
+        self.horizon = Some(at);
+        self
+    }
+
+    /// Take the `a`–`b` link down at `at`.
+    pub fn link_down_at(mut self, a: NodeId, b: NodeId, at: SimTime) -> Self {
+        self.events.push((at, ComponentEvent::LinkDown { a, b }));
+        self
+    }
+
+    /// Bring the `a`–`b` link back up at `at`.
+    pub fn link_up_at(mut self, a: NodeId, b: NodeId, at: SimTime) -> Self {
+        self.events.push((at, ComponentEvent::LinkUp { a, b }));
+        self
+    }
+
+    /// Crash `node` at `at`.
+    pub fn node_crash_at(mut self, node: NodeId, at: SimTime) -> Self {
+        self.events.push((at, ComponentEvent::NodeCrash { node }));
+        self
+    }
+
+    /// Restart `node` at `at`.
+    pub fn node_restart_at(mut self, node: NodeId, at: SimTime) -> Self {
+        self.events.push((at, ComponentEvent::NodeRestart { node }));
+        self
+    }
+
+    /// Convenience: a link outage of `duration` starting at `down_at`.
+    pub fn link_outage(
+        self,
+        a: NodeId,
+        b: NodeId,
+        down_at: SimTime,
+        duration: SimDuration,
+    ) -> Self {
+        self.link_down_at(a, b, down_at)
+            .link_up_at(a, b, down_at + duration)
+    }
+
+    /// Convenience: a node outage of `duration` starting at `crash_at`.
+    pub fn node_outage(self, node: NodeId, crash_at: SimTime, duration: SimDuration) -> Self {
+        self.node_crash_at(node, crash_at)
+            .node_restart_at(node, crash_at + duration)
+    }
+
+    /// Stochastic outages for the `a`–`b` link: exponential up-times
+    /// with mean `mtbf`, exponential repairs with mean `mttr`, drawn
+    /// from this component's own `"component-faults"` substream.
+    pub fn link_mtbf(mut self, a: NodeId, b: NodeId, mtbf: SimDuration, mttr: SimDuration) -> Self {
+        self.stochastic
+            .push((Component::Link { a, b }, FailureModel { mtbf, mttr }));
+        self
+    }
+
+    /// Stochastic crash/restart cycles for `node` (see
+    /// [`FaultPlan::link_mtbf`]).
+    pub fn node_mtbf(mut self, node: NodeId, mtbf: SimDuration, mttr: SimDuration) -> Self {
+        self.stochastic
+            .push((Component::Node(node), FailureModel { mtbf, mttr }));
+        self
+    }
+
+    /// Whether the plan schedules nothing at all. The runtime consults
+    /// this once at build: an empty plan adds zero events and zero RNG
+    /// draws, keeping the run bit-identical to one without a plan.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.stochastic.is_empty()
+    }
+
+    /// Fail-fast validation against the topology the plan will run on.
+    /// Rejects events on unknown links or nodes, a `LinkUp` with no
+    /// preceding `LinkDown` (and restart/crash likewise, or doubled
+    /// downs/crashes), deterministic events past the declared horizon,
+    /// stochastic schedules without a horizon, and non-positive
+    /// MTBF/MTTR.
+    pub fn validate(&self, topology: &Topology) -> Result<(), String> {
+        let nodes = topology.nodes();
+        let check_node = |n: NodeId| -> Result<(), String> {
+            if nodes.binary_search(&n).is_err() {
+                return Err(format!("fault plan references unknown node {n}"));
+            }
+            Ok(())
+        };
+        let check_link = |a: NodeId, b: NodeId| -> Result<(), String> {
+            if topology.link_between(a, b).is_none() {
+                return Err(format!("fault plan references unknown link {a}–{b}"));
+            }
+            Ok(())
+        };
+        for (at, ev) in &self.events {
+            match ev {
+                ComponentEvent::LinkDown { a, b } | ComponentEvent::LinkUp { a, b } => {
+                    check_link(*a, *b)?
+                }
+                ComponentEvent::NodeCrash { node } | ComponentEvent::NodeRestart { node } => {
+                    check_node(*node)?
+                }
+            }
+            if let Some(h) = self.horizon {
+                if *at > h {
+                    return Err(format!(
+                        "fault event {ev:?} at {at} lies beyond the plan horizon {h}"
+                    ));
+                }
+            }
+        }
+        // Per-component alternation: a stable sort by time keeps
+        // insertion order for ties, matching the execution order.
+        let mut ordered: Vec<&(SimTime, ComponentEvent)> = self.events.iter().collect();
+        ordered.sort_by_key(|(at, _)| *at);
+        let mut down_links: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut crashed: Vec<NodeId> = Vec::new();
+        for (at, ev) in ordered {
+            match ev {
+                ComponentEvent::LinkDown { a, b } => {
+                    let key = link_key(*a, *b);
+                    if down_links.contains(&key) {
+                        return Err(format!(
+                            "link {a}–{b} taken down twice (at {at}) without a LinkUp in between"
+                        ));
+                    }
+                    down_links.push(key);
+                }
+                ComponentEvent::LinkUp { a, b } => {
+                    let key = link_key(*a, *b);
+                    let Some(i) = down_links.iter().position(|k| *k == key) else {
+                        return Err(format!(
+                            "LinkUp for {a}–{b} (at {at}) without a preceding LinkDown"
+                        ));
+                    };
+                    down_links.remove(i);
+                }
+                ComponentEvent::NodeCrash { node } => {
+                    if crashed.contains(node) {
+                        return Err(format!(
+                            "node {node} crashed twice (at {at}) without a restart in between"
+                        ));
+                    }
+                    crashed.push(*node);
+                }
+                ComponentEvent::NodeRestart { node } => {
+                    let Some(i) = crashed.iter().position(|n| n == node) else {
+                        return Err(format!(
+                            "NodeRestart for {node} (at {at}) without a preceding NodeCrash"
+                        ));
+                    };
+                    crashed.remove(i);
+                }
+            }
+        }
+        for (comp, model) in &self.stochastic {
+            match comp {
+                Component::Link { a, b } => check_link(*a, *b)?,
+                Component::Node(n) => check_node(*n)?,
+            }
+            if model.mtbf == SimDuration::ZERO || model.mtbf.is_infinite() {
+                return Err(format!(
+                    "stochastic schedule for {comp:?} needs a positive finite MTBF"
+                ));
+            }
+            if model.mttr == SimDuration::ZERO || model.mttr.is_infinite() {
+                return Err(format!(
+                    "stochastic schedule for {comp:?} needs a positive finite MTTR"
+                ));
+            }
+            if self.horizon.is_none() {
+                return Err(
+                    "stochastic fault schedules need a plan horizon (FaultPlan::horizon)".into(),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Expand the plan into the concrete, time-ordered schedule for
+    /// `seed`. Deterministic events are kept as declared; each
+    /// stochastic component draws its failure/repair cycle from
+    /// `SimRng::substream_indexed(seed, "component-faults", i)` (one
+    /// independent substream per declared schedule) until the horizon.
+    /// Every drawn failure is paired with its repair even when the
+    /// repair lands past the horizon, so stochastic outages always
+    /// recover. Ties are broken by declaration order (deterministic
+    /// events first), so the schedule is a pure function of
+    /// `(seed, plan)`.
+    pub fn expand(&self, seed: u64) -> Vec<(SimTime, ComponentEvent)> {
+        let mut schedule: Vec<(SimTime, usize, ComponentEvent)> = self
+            .events
+            .iter()
+            .enumerate()
+            .map(|(i, (at, ev))| (*at, i, *ev))
+            .collect();
+        let mut order = self.events.len();
+        for (i, (comp, model)) in self.stochastic.iter().enumerate() {
+            let horizon = self
+                .horizon
+                .expect("validated: stochastic schedules need a horizon");
+            let mut rng = SimRng::substream_indexed(seed, "component-faults", i as u64);
+            let fail_rate = 1.0 / model.mtbf.as_secs_f64();
+            let repair_rate = 1.0 / model.mttr.as_secs_f64();
+            let mut t = SimTime::ZERO;
+            loop {
+                t += SimDuration::from_secs_f64(rng.exponential(fail_rate));
+                if t >= horizon {
+                    break;
+                }
+                let (down, up) = match comp {
+                    Component::Link { a, b } => (
+                        ComponentEvent::LinkDown { a: *a, b: *b },
+                        ComponentEvent::LinkUp { a: *a, b: *b },
+                    ),
+                    Component::Node(n) => (
+                        ComponentEvent::NodeCrash { node: *n },
+                        ComponentEvent::NodeRestart { node: *n },
+                    ),
+                };
+                schedule.push((t, order, down));
+                order += 1;
+                t += SimDuration::from_secs_f64(rng.exponential(repair_rate));
+                schedule.push((t, order, up));
+                order += 1;
+            }
+        }
+        schedule.sort_by_key(|(at, order, _)| (*at, *order));
+        schedule.into_iter().map(|(at, _, ev)| (at, ev)).collect()
+    }
+}
+
+/// Canonical (min, max) key for an undirected link.
+fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_hardware::params::{FibreParams, HardwareParams};
+    use qn_routing::topology::chain;
+
+    fn topo() -> Topology {
+        chain(4, HardwareParams::simulation(), FibreParams::lab_2m())
+    }
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn empty_plan_is_empty_and_valid() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert!(plan.validate(&topo()).is_ok());
+        assert!(plan.expand(7).is_empty());
+    }
+
+    #[test]
+    fn outage_pairs_expand_in_time_order() {
+        let plan = FaultPlan::new()
+            .node_outage(NodeId(2), secs(8), SimDuration::from_secs(2))
+            .link_outage(NodeId(1), NodeId(2), secs(3), SimDuration::from_secs(4));
+        assert!(!plan.is_empty());
+        assert!(plan.validate(&topo()).is_ok());
+        let sched = plan.expand(1);
+        assert_eq!(
+            sched,
+            vec![
+                (
+                    secs(3),
+                    ComponentEvent::LinkDown {
+                        a: NodeId(1),
+                        b: NodeId(2)
+                    }
+                ),
+                (
+                    secs(7),
+                    ComponentEvent::LinkUp {
+                        a: NodeId(1),
+                        b: NodeId(2)
+                    }
+                ),
+                (secs(8), ComponentEvent::NodeCrash { node: NodeId(2) }),
+                (secs(10), ComponentEvent::NodeRestart { node: NodeId(2) }),
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_link_rejected() {
+        let plan = FaultPlan::new().link_down_at(NodeId(0), NodeId(3), secs(1));
+        let err = plan.validate(&topo()).unwrap_err();
+        assert!(err.contains("unknown link"), "{err}");
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let plan = FaultPlan::new().node_crash_at(NodeId(9), secs(1));
+        let err = plan.validate(&topo()).unwrap_err();
+        assert!(err.contains("unknown node"), "{err}");
+    }
+
+    #[test]
+    fn link_up_before_down_rejected() {
+        let plan = FaultPlan::new()
+            .link_up_at(NodeId(0), NodeId(1), secs(1))
+            .link_down_at(NodeId(0), NodeId(1), secs(2));
+        let err = plan.validate(&topo()).unwrap_err();
+        assert!(err.contains("without a preceding LinkDown"), "{err}");
+        // Endpoint order must not matter for the pairing.
+        let plan = FaultPlan::new()
+            .link_down_at(NodeId(0), NodeId(1), secs(1))
+            .link_up_at(NodeId(1), NodeId(0), secs(2));
+        assert!(plan.validate(&topo()).is_ok());
+    }
+
+    #[test]
+    fn restart_before_crash_rejected() {
+        let plan = FaultPlan::new().node_restart_at(NodeId(1), secs(1));
+        let err = plan.validate(&topo()).unwrap_err();
+        assert!(err.contains("without a preceding NodeCrash"), "{err}");
+    }
+
+    #[test]
+    fn doubled_down_rejected() {
+        let plan = FaultPlan::new()
+            .link_down_at(NodeId(0), NodeId(1), secs(1))
+            .link_down_at(NodeId(1), NodeId(0), secs(2));
+        let err = plan.validate(&topo()).unwrap_err();
+        assert!(err.contains("taken down twice"), "{err}");
+        let plan = FaultPlan::new()
+            .node_crash_at(NodeId(1), secs(1))
+            .node_crash_at(NodeId(1), secs(2));
+        let err = plan.validate(&topo()).unwrap_err();
+        assert!(err.contains("crashed twice"), "{err}");
+    }
+
+    #[test]
+    fn event_after_horizon_rejected() {
+        let plan = FaultPlan::new()
+            .horizon(secs(10))
+            .link_down_at(NodeId(0), NodeId(1), secs(11));
+        let err = plan.validate(&topo()).unwrap_err();
+        assert!(err.contains("beyond the plan horizon"), "{err}");
+    }
+
+    #[test]
+    fn stochastic_needs_horizon_and_positive_moments() {
+        let plan = FaultPlan::new().link_mtbf(
+            NodeId(0),
+            NodeId(1),
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(1),
+        );
+        let err = plan.validate(&topo()).unwrap_err();
+        assert!(err.contains("horizon"), "{err}");
+        let plan = FaultPlan::new().horizon(secs(60)).link_mtbf(
+            NodeId(0),
+            NodeId(1),
+            SimDuration::ZERO,
+            SimDuration::from_secs(1),
+        );
+        let err = plan.validate(&topo()).unwrap_err();
+        assert!(err.contains("MTBF"), "{err}");
+        let plan = FaultPlan::new().horizon(secs(60)).node_mtbf(
+            NodeId(1),
+            SimDuration::from_secs(5),
+            SimDuration::MAX,
+        );
+        let err = plan.validate(&topo()).unwrap_err();
+        assert!(err.contains("MTTR"), "{err}");
+    }
+
+    #[test]
+    fn stochastic_expansion_is_seed_deterministic_and_alternating() {
+        let plan = FaultPlan::new()
+            .horizon(secs(120))
+            .link_mtbf(
+                NodeId(1),
+                NodeId(2),
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(2),
+            )
+            .node_mtbf(
+                NodeId(2),
+                SimDuration::from_secs(15),
+                SimDuration::from_secs(3),
+            );
+        assert!(plan.validate(&topo()).is_ok());
+        let a = plan.expand(42);
+        let b = plan.expand(42);
+        assert_eq!(a, b, "expansion must be a pure function of the seed");
+        assert_ne!(
+            a,
+            plan.expand(43),
+            "different seeds draw different schedules"
+        );
+        assert!(
+            !a.is_empty(),
+            "a 120 s horizon at 10/15 s MTBF must draw failures"
+        );
+        // Every failure is followed by its recovery, per component.
+        let mut link_down = false;
+        let mut node_down = false;
+        for (at, ev) in &a {
+            assert!(*at > SimTime::ZERO);
+            match ev {
+                ComponentEvent::LinkDown { .. } => {
+                    assert!(!link_down, "no doubled downs");
+                    link_down = true;
+                }
+                ComponentEvent::LinkUp { .. } => {
+                    assert!(link_down, "up only after down");
+                    link_down = false;
+                }
+                ComponentEvent::NodeCrash { .. } => {
+                    assert!(!node_down);
+                    node_down = true;
+                }
+                ComponentEvent::NodeRestart { .. } => {
+                    assert!(node_down);
+                    node_down = false;
+                }
+            }
+        }
+        assert!(!link_down && !node_down, "every outage recovers");
+        // Times are non-decreasing.
+        for w in a.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+}

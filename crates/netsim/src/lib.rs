@@ -44,12 +44,14 @@ pub mod app;
 pub mod build;
 pub mod classical;
 pub mod estimation;
+pub mod faults;
 pub mod runtime;
 
 pub use app::{AppHarness, DeliveryRecord, Payload};
 pub use build::{NetSim, NetworkBuilder};
 pub use classical::{BatchId, BatchOpen, ClassicalFaults, ClassicalPlane, ClassicalStats};
 pub use estimation::FidelityEstimator;
+pub use faults::{ComponentEvent, FaultPlan};
 pub use runtime::{CheckpointPolicy, Ev, NetworkModel, RetransmitConfig, RuntimeConfig};
 
 // The qn_exec sweep runner builds and runs whole simulations on worker

@@ -19,6 +19,7 @@
 
 use crate::app::{AppHarness, DeliveryRecord, Payload};
 use crate::classical::{BatchId, ChannelModel, ClassicalFaults, ClassicalPlane, ClassicalStats};
+use crate::faults::{ComponentEvent, FaultPlan};
 use qn_hardware::device::{QDevice, QubitId};
 use qn_hardware::heralding::LinkPhysics;
 use qn_hardware::pairs::{PairId, PairStore, SwapNoise};
@@ -130,6 +131,17 @@ pub struct RuntimeConfig {
     /// Retransmission bounds and backoff (only consulted when
     /// `signalling_on_wire` is set).
     pub retransmit: RetransmitConfig,
+    /// Component-level fault plan: scheduled and stochastic link
+    /// outages and node crashes (see [`crate::faults::FaultPlan`]).
+    /// The empty default plan schedules no events and draws no
+    /// randomness — bit-identical to the pre-fault runtime.
+    pub fault_plan: FaultPlan,
+    /// Per-link overrides of the message-level fault model. Links not
+    /// listed keep the global [`RuntimeConfig::faults`]. Empty by
+    /// default; the no-override path is bit-identical to the global
+    /// path (same single `classical-faults` RNG substream, same draw
+    /// order).
+    pub link_faults: Vec<(NodeId, NodeId, ClassicalFaults)>,
 }
 
 impl Default for RuntimeConfig {
@@ -149,6 +161,8 @@ impl Default for RuntimeConfig {
             trace: false,
             signalling_on_wire: false,
             retransmit: RetransmitConfig::default(),
+            fault_plan: FaultPlan::new(),
+            link_faults: Vec::new(),
         }
     }
 }
@@ -168,6 +182,11 @@ pub enum Ev {
         from_upstream: bool,
         /// The plane's open-batch handle to drain.
         batch: BatchId,
+        /// The physical hop the batch travels on. A component fault can
+        /// take the hop down while the batch is in flight: delivery
+        /// checks the link (and receiver) are still up and otherwise
+        /// drops the whole batch on the floor.
+        link: LinkId,
     },
     /// A track-timeout armed for an unconfirmed end-node pair fired
     /// (faulty-plane resilience; never armed by default).
@@ -323,16 +342,25 @@ pub enum Ev {
     /// Periodic whole-store decoherence sweep
     /// ([`CheckpointPolicy::Interval`]); reschedules itself.
     Checkpoint,
+    /// A component fault from the run's [`FaultPlan`] comes due: a link
+    /// goes down or comes back, a node crashes or restarts. The whole
+    /// schedule is expanded (deterministically per seed) before the run
+    /// starts; an empty plan schedules none of these.
+    ComponentFault {
+        /// What happens to which component.
+        event: ComponentEvent,
+    },
 }
 
 struct NodeRt {
     qnp: QnpNode,
     device: QDevice,
+    /// False while the node is crashed: it processes no frames, its
+    /// links do not generate, and its volatile protocol state is gone.
+    up: bool,
 }
 
 struct Inflight {
-    /// Retained for debugging visibility; the protocol tracks the label.
-    #[allow(dead_code)]
     label: LinkLabel,
     alpha: f64,
     attempts: u64,
@@ -348,6 +376,11 @@ struct LinkRt {
     a: NodeId,
     b: NodeId,
     inflight: Option<Inflight>,
+    /// False while the link itself is administratively/physically down
+    /// (a [`ComponentEvent::LinkDown`]). Distinct from the protocol's
+    /// paused flag, which also covers endpoint crashes: the link is
+    /// only active when it is up *and* both endpoints are up.
+    up: bool,
 }
 
 struct LabelInfo {
@@ -461,6 +494,17 @@ impl<T: Copy> NodeTable<T> {
         let row = &mut self.rows[node.0 as usize];
         let i = row.iter().position(|(k, _)| *k == c)?;
         Some(row.swap_remove(i).1)
+    }
+
+    /// Take the whole row of `node` (a crashed node loses every entry
+    /// at once).
+    fn drain_row(&mut self, node: NodeId) -> Vec<(Correlator, T)> {
+        std::mem::take(&mut self.rows[node.0 as usize])
+    }
+
+    /// Total entries across all rows (leak introspection).
+    fn len(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
     }
 }
 
@@ -591,6 +635,16 @@ pub struct NetworkModel {
     pub state_mismatches: u64,
     /// Diagnostics: pairs released before use.
     pub discarded_pairs: u64,
+    /// Per-link effective message-fault models (`Some` only when the
+    /// config carries per-link overrides; `None` keeps the global
+    /// [`RuntimeConfig::faults`] on the untouched fast path).
+    link_fault_table: Option<Vec<ClassicalFaults>>,
+    /// Whether *any* hop can lose frames — global loss/corruption
+    /// faults, a per-link override with either, or a component fault
+    /// plan (a downed hop eats frames). Gates the blind request-level
+    /// redundancy: one-shot FORWARD/COMPLETE fan-out wedges a circuit
+    /// forever if its only copy dies on such a hop.
+    lossy_wire: bool,
 }
 
 impl NetworkModel {
@@ -599,6 +653,9 @@ impl NetworkModel {
         cfg.faults
             .validate()
             .expect("classical fault probabilities");
+        cfg.fault_plan
+            .validate(&topology)
+            .expect("component fault plan");
         let node_ids = topology.nodes();
         let n_nodes = node_ids.len();
         assert_eq!(
@@ -620,6 +677,7 @@ impl NetworkModel {
             nodes.push(NodeRt {
                 qnp: QnpNode::new(*id),
                 device,
+                up: true,
             });
         }
         let links: Vec<LinkRt> = topology
@@ -631,8 +689,26 @@ impl NetworkModel {
                 a: l.a,
                 b: l.b,
                 inflight: None,
+                up: true,
             })
             .collect();
+        let link_fault_table = if cfg.link_faults.is_empty() {
+            None
+        } else {
+            let mut table = vec![cfg.faults; links.len()];
+            for (a, b, faults) in &cfg.link_faults {
+                faults.validate().expect("per-link fault probabilities");
+                let link = topology
+                    .link_between(*a, *b)
+                    .expect("per-link fault override names an existing link");
+                table[link.0 as usize] = *faults;
+            }
+            Some(table)
+        };
+        let lossy = |f: &ClassicalFaults| f.drop > 0.0 || f.corrupt > 0.0;
+        let lossy_wire = lossy(&cfg.faults)
+            || cfg.link_faults.iter().any(|(_, _, f)| lossy(f))
+            || !cfg.fault_plan.is_empty();
         let rng_links = (0..links.len())
             .map(|i| SimRng::substream_indexed(seed, "link", i as u64))
             .collect();
@@ -668,6 +744,8 @@ impl NetworkModel {
             cfg,
             state_mismatches: 0,
             discarded_pairs: 0,
+            link_fault_table,
+            lossy_wire,
         }
     }
 
@@ -822,6 +900,13 @@ impl NetworkModel {
             up.expect("upstream neighbour")
         };
         let link = self.link_between(from, to);
+        if !self.hop_alive(link, from, to) {
+            // The hop (or one of its endpoints) is down: the frame dies
+            // on the dead wire. A plan-free run never takes this branch.
+            self.plane.stats.sent += 1;
+            self.plane.stats.dropped += 1;
+            return;
+        }
         let channel = ChannelModel {
             propagation: self.links[link.0 as usize]
                 .physics
@@ -847,8 +932,10 @@ impl NetworkModel {
         // pass-through of the reliable in-order transport. Encoding goes
         // through the shared scratch buffer and the plane coalesces
         // same-tick frames, so only newly opened batches cost an event.
+        let faults = self.hop_faults(link);
         let frame = self.scratch.message(&msg);
-        let opened = self.plane.transmit(
+        let opened = self.plane.transmit_with(
+            faults,
             from,
             to,
             downstream,
@@ -864,6 +951,7 @@ impl NetworkModel {
                     to,
                     from_upstream: downstream,
                     batch: b.id,
+                    link,
                 },
             );
         }
@@ -884,6 +972,11 @@ impl NetworkModel {
         let Some(link) = self.topology.link_between(from, to) else {
             return;
         };
+        if !self.hop_alive(link, from, to) {
+            self.plane.stats.sent += 1;
+            self.plane.stats.dropped += 1;
+            return;
+        }
         let channel = ChannelModel {
             propagation: self.links[link.0 as usize]
                 .physics
@@ -893,8 +986,10 @@ impl NetworkModel {
             extra: self.cfg.extra_message_delay,
             jitter: self.cfg.message_jitter,
         };
+        let faults = self.hop_faults(link);
         let frame = self.scratch.frame(encode);
-        let opened = self.plane.transmit(
+        let opened = self.plane.transmit_with(
+            faults,
             from,
             to,
             downstream,
@@ -910,8 +1005,26 @@ impl NetworkModel {
                     to,
                     from_upstream: downstream,
                     batch: b.id,
+                    link,
                 },
             );
+        }
+    }
+
+    /// Whether a hop can carry traffic right now: the link is up and so
+    /// are both of its endpoints. Always true without a fault plan.
+    fn hop_alive(&self, link: LinkId, from: NodeId, to: NodeId) -> bool {
+        self.links[link.0 as usize].up
+            && self.nodes[from.0 as usize].up
+            && self.nodes[to.0 as usize].up
+    }
+
+    /// The message-fault model for a hop: its per-link override if one
+    /// was configured, the global config otherwise.
+    fn hop_faults(&self, link: LinkId) -> ClassicalFaults {
+        match &self.link_fault_table {
+            Some(table) => table[link.0 as usize],
+            None => self.cfg.faults,
         }
     }
 
@@ -1005,9 +1118,7 @@ impl NetworkModel {
         downstream: bool,
         msg: &Message,
     ) {
-        if !self.cfg.signalling_on_wire
-            || (self.cfg.faults.drop == 0.0 && self.cfg.faults.corrupt == 0.0)
-        {
+        if !self.cfg.signalling_on_wire || !self.lossy_wire {
             return;
         }
         if !matches!(msg, Message::Forward(_) | Message::Complete(_)) {
@@ -1214,7 +1325,9 @@ impl NetworkModel {
                 );
             }
             Err(err) => {
-                self.plane.stats.link_decode_failures += 1;
+                self.plane
+                    .stats
+                    .count_link_decode_failure(frame.get(1).copied());
                 self.trace.record(
                     ctx.now(),
                     TraceKind::Info,
@@ -1627,7 +1740,9 @@ impl NetworkModel {
                     // Undecodable announcement: counted and dropped (no
                     // panic); the reserved qubits return to their
                     // devices and the link tries again.
-                    self.plane.stats.link_decode_failures += 1;
+                    self.plane
+                        .stats
+                        .count_link_decode_failure(Some(qn_net::wire::KIND_LINK_PAIR_READY));
                     self.nodes[na.0 as usize].device.free(qa);
                     self.nodes[nb.0 as usize].device.free(qb);
                     self.poll_link(ctx, link);
@@ -2251,6 +2366,298 @@ impl NetworkModel {
         self.process_outputs(ctx, node, circuit, outs);
         self.poll_links_of(ctx, node);
     }
+
+    // ----- component faults (FaultPlan execution) -----
+
+    /// Dispatch one [`ComponentEvent`] from the expanded fault plan.
+    fn component_fault(&mut self, ctx: &mut Context<'_, Ev>, event: ComponentEvent) {
+        match event {
+            ComponentEvent::LinkDown { a, b } => self.link_down(ctx, a, b),
+            ComponentEvent::LinkUp { a, b } => self.link_up(ctx, a, b),
+            ComponentEvent::NodeCrash { node } => self.node_crash(ctx, node),
+            ComponentEvent::NodeRestart { node } => self.node_restart(ctx, node),
+        }
+    }
+
+    /// A link goes down: generation halts (any heralding attempt in
+    /// flight dies), new frames on the hop are dropped at the sender,
+    /// in-flight batches die at delivery, and the link's live pairs are
+    /// scrapped through the protocols' expiry machinery.
+    fn link_down(&mut self, ctx: &mut Context<'_, Ev>, a: NodeId, b: NodeId) {
+        let link = self
+            .topology
+            .link_between(a, b)
+            .expect("validated fault plan names an existing link");
+        if !self.links[link.0 as usize].up {
+            return;
+        }
+        self.links[link.0 as usize].up = false;
+        self.trace.record(
+            ctx.now(),
+            TraceKind::Info,
+            format!("{a}"),
+            format!("link {a}-{b} DOWN"),
+        );
+        self.refresh_link_activity(ctx, link);
+        self.scrap_link_pairs(ctx, link);
+    }
+
+    /// A downed link comes back: resume generation (unless an endpoint
+    /// is still crashed) and re-poll for queued work.
+    fn link_up(&mut self, ctx: &mut Context<'_, Ev>, a: NodeId, b: NodeId) {
+        let link = self
+            .topology
+            .link_between(a, b)
+            .expect("validated fault plan names an existing link");
+        if self.links[link.0 as usize].up {
+            return;
+        }
+        self.links[link.0 as usize].up = true;
+        self.trace.record(
+            ctx.now(),
+            TraceKind::Info,
+            format!("{a}"),
+            format!("link {a}-{b} UP"),
+        );
+        self.refresh_link_activity(ctx, link);
+    }
+
+    /// A node crashes: its volatile protocol state is lost, every pair
+    /// end it holds is reclaimed, its timers are disarmed, its attached
+    /// links halt, and circuits routed through it are torn down
+    /// end-to-end by the management plane (end-nodes see
+    /// [`AppEvent::CircuitDown`]). Counters ([`NodeStats`]) survive —
+    /// they model the experimenter's observability, not device memory.
+    fn node_crash(&mut self, ctx: &mut Context<'_, Ev>, node: NodeId) {
+        let idx = node.0 as usize;
+        if !self.nodes[idx].up {
+            return;
+        }
+        self.nodes[idx].up = false;
+        self.trace.record(
+            ctx.now(),
+            TraceKind::Info,
+            format!("{node}"),
+            format!("node {node} CRASH"),
+        );
+        // Tear down circuits through the node first, while the path
+        // metadata is still installed: live path nodes discard their
+        // queued pairs and stop their link requests through the normal
+        // teardown rule; the dead node is skipped (its state is gone).
+        let affected: Vec<CircuitId> = self
+            .circuits
+            .iter()
+            .enumerate()
+            .filter(|(_, rt)| rt.as_ref().is_some_and(|rt| rt.path.contains(&node)))
+            .map(|(i, _)| CircuitId(i as u64))
+            .collect();
+        for circuit in affected {
+            self.teardown_by_fault(ctx, circuit, node);
+        }
+        // The crash wipes the node's protocol state; stale correlators
+        // arriving after restart hit a fresh instance and are absorbed
+        // (and counted) by the anomaly rules.
+        let stats = self.nodes[idx].qnp.stats;
+        self.nodes[idx].qnp = QnpNode::new(node);
+        self.nodes[idx].qnp.stats = stats;
+        // Reclaim every pair end the node still holds (memory power
+        // loss): the far ends of swapped chains survive, depolarised.
+        let held: Vec<Correlator> = self.qubit_owner.rows[idx].iter().map(|(c, _)| *c).collect();
+        for correlator in held {
+            self.discarded_pairs += 1;
+            self.release_end(ctx, node, correlator, true);
+        }
+        // Disarm every timer keyed at the node.
+        for (_, ev) in self.cutoff_events.drain_row(node) {
+            ctx.cancel(ev);
+        }
+        for (_, ev) in self.track_expiry_events.drain_row(node) {
+            ctx.cancel(ev);
+        }
+        for (_, retry) in self.track_retransmits.drain_row(node) {
+            ctx.cancel(retry.event);
+        }
+        self.link_delivered.drain_row(node);
+        // Attached links can no longer generate.
+        for link in self.topology.links_of(node) {
+            self.refresh_link_activity(ctx, link);
+        }
+    }
+
+    /// A crashed node restarts with a blank protocol instance and
+    /// re-registers its links: any attached link whose other pieces are
+    /// healthy resumes generation immediately.
+    fn node_restart(&mut self, ctx: &mut Context<'_, Ev>, node: NodeId) {
+        let idx = node.0 as usize;
+        if self.nodes[idx].up {
+            return;
+        }
+        self.nodes[idx].up = true;
+        self.trace.record(
+            ctx.now(),
+            TraceKind::Info,
+            format!("{node}"),
+            format!("node {node} RESTART"),
+        );
+        for link in self.topology.links_of(node) {
+            self.refresh_link_activity(ctx, link);
+        }
+    }
+
+    /// Reconcile a link's generation activity with the up/down state of
+    /// the link and its endpoints: pause (aborting any heralding attempt
+    /// in flight) when any of the three is down; resume and re-poll when
+    /// all are healthy again.
+    fn refresh_link_activity(&mut self, ctx: &mut Context<'_, Ev>, link: LinkId) {
+        let l = &self.links[link.0 as usize];
+        let alive = l.up && self.nodes[l.a.0 as usize].up && self.nodes[l.b.0 as usize].up;
+        if alive {
+            self.links[link.0 as usize].proto.resume();
+            self.poll_link(ctx, link);
+        } else {
+            self.links[link.0 as usize].proto.pause();
+            self.abort_link_inflight(ctx, link);
+        }
+    }
+
+    /// Cancel a heralding attempt in flight on the link: the generation
+    /// event is descheduled, the protocol is charged the elapsed time,
+    /// and the reserved communication qubits return to their devices.
+    fn abort_link_inflight(&mut self, ctx: &mut Context<'_, Ev>, link: LinkId) {
+        let l = &mut self.links[link.0 as usize];
+        if let Some(inflight) = l.inflight.take() {
+            ctx.cancel(inflight.event);
+            let elapsed = ctx.now().since(inflight.started);
+            l.proto.on_generation_aborted(inflight.label, elapsed);
+            let (na, qa) = inflight.qubit_a;
+            let (nb, qb) = inflight.qubit_b;
+            self.nodes[na.0 as usize].device.free(qa);
+            self.nodes[nb.0 as usize].device.free(qb);
+        }
+    }
+
+    /// Scrap every live pair end whose correlator was generated on a
+    /// link that just died, through the protocols' own expiry machinery:
+    /// end-nodes expire the pair as if its track-timeout fired,
+    /// repeaters as if its cutoff fired (both paths discard the pair,
+    /// record the dead correlator and recover lost TRACKs with EXPIREs).
+    /// Ends the protocol never learned of (announcement lost with the
+    /// link) are reclaimed directly, like the orphan check would.
+    fn scrap_link_pairs(&mut self, ctx: &mut Context<'_, Ev>, link: LinkId) {
+        let (a, b) = (self.links[link.0 as usize].a, self.links[link.0 as usize].b);
+        let (lo, hi) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        for node in [a, b] {
+            let held: Vec<Correlator> = self.qubit_owner.rows[node.0 as usize]
+                .iter()
+                .map(|(c, _)| *c)
+                .filter(|c| c.node_a == lo && c.node_b == hi)
+                .collect();
+            for correlator in held {
+                let owner = self.label_map[link.0 as usize]
+                    .iter()
+                    .find(|(_, info)| {
+                        self.nodes[node.0 as usize]
+                            .qnp
+                            .knows_pair(info.circuit, correlator)
+                    })
+                    .map(|(_, info)| (info.circuit, info.upstream_node));
+                match owner {
+                    Some((circuit, upstream_node)) => {
+                        let side = if node == upstream_node {
+                            LinkSide::Downstream
+                        } else {
+                            LinkSide::Upstream
+                        };
+                        let outs = if self.is_intermediate_on(circuit, node) {
+                            if let Some(ev) = self.cutoff_events.remove(node, correlator) {
+                                ctx.cancel(ev);
+                            }
+                            self.nodes[node.0 as usize]
+                                .qnp
+                                .handle(NetInput::CutoffExpired {
+                                    circuit,
+                                    side,
+                                    correlator,
+                                })
+                        } else {
+                            self.cancel_track_expiry(ctx, node, correlator);
+                            self.nodes[node.0 as usize]
+                                .qnp
+                                .handle(NetInput::TrackTimeout {
+                                    circuit,
+                                    correlator,
+                                })
+                        };
+                        self.process_outputs(ctx, node, circuit, outs);
+                    }
+                    None => {
+                        self.discarded_pairs += 1;
+                        self.release_end(ctx, node, correlator, true);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Management-plane teardown after a node death: every *live* node
+    /// on the path drops the circuit through the normal teardown rule
+    /// (end-nodes report [`AppEvent::CircuitDown`] to their
+    /// applications); wire-signalling retransmit timers for the circuit
+    /// are disarmed — there is no peer left to ack them.
+    fn teardown_by_fault(&mut self, ctx: &mut Context<'_, Ev>, circuit: CircuitId, dead: NodeId) {
+        let Some(rt) = self.circuit_rt(circuit) else {
+            return;
+        };
+        let path = rt.path.clone();
+        if let Some(st) = self
+            .signal_state
+            .get_mut(circuit.0 as usize)
+            .and_then(Option::as_mut)
+        {
+            st.tearing = true;
+            for slot in st.pending.iter_mut() {
+                if let Some(retry) = slot.take() {
+                    ctx.cancel(retry.event);
+                }
+            }
+            for torn in st.torn.iter_mut() {
+                *torn = true;
+            }
+        }
+        for node in path {
+            if node == dead || !self.nodes[node.0 as usize].up {
+                continue;
+            }
+            let outs = self.nodes[node.0 as usize]
+                .qnp
+                .handle(NetInput::TeardownCircuit { circuit });
+            self.process_outputs(ctx, node, circuit, outs);
+        }
+        self.finish_teardown(circuit);
+    }
+
+    /// Leak introspection: every timer currently armed with the
+    /// scheduler — cutoffs, track expiries, TRACK retransmits and
+    /// signalling retransmits. Zero after a settled run.
+    pub fn armed_timers(&self) -> usize {
+        let signal_pending: usize = self
+            .signal_state
+            .iter()
+            .flatten()
+            .map(|st| st.pending.iter().flatten().count())
+            .sum();
+        self.cutoff_events.len()
+            + self.track_expiry_events.len()
+            + self.track_retransmits.len()
+            + signal_pending
+    }
+
+    /// Leak introspection: correlator state the runtime retains — live
+    /// pair ends plus PAIR_READY dedup records. Zero after a settled
+    /// run.
+    pub fn retained_correlators(&self) -> usize {
+        self.qubit_owner.len() + self.link_delivered.len()
+    }
 }
 
 impl Model for NetworkModel {
@@ -2263,6 +2670,7 @@ impl Model for NetworkModel {
                 to,
                 from_upstream,
                 batch,
+                link,
             } => {
                 let buf = self
                     .plane
@@ -2273,6 +2681,16 @@ impl Model for NetworkModel {
                 // only the per-frame decodes can fail.
                 let view = qn_net::wire::BatchView::parse(&buf)
                     .expect("plane-built batch envelope is well-formed");
+                // A component fault took the hop (or the receiver) down
+                // while the batch was in flight: every frame in it dies
+                // on the wire. Plan-free runs never take this branch.
+                if !self.links[link.0 as usize].up || !self.nodes[to.0 as usize].up {
+                    let lost = view.frames().count() as u64;
+                    self.plane.stats.delivered -= lost;
+                    self.plane.stats.dropped += lost;
+                    self.plane.recycle(buf);
+                    return;
+                }
                 let wire = self.cfg.signalling_on_wire;
                 for frame in view.frames() {
                     // One lane carries three planes; the kind byte
@@ -2342,7 +2760,7 @@ impl Model for NetworkModel {
                             }
                         }
                         Err(err) => {
-                            self.plane.stats.decode_failures += 1;
+                            self.plane.stats.count_decode_failure(frame.get(1).copied());
                             self.trace.record(
                                 now,
                                 TraceKind::Info,
@@ -2477,6 +2895,7 @@ impl Model for NetworkModel {
                     ctx.schedule_in(dt, Ev::Checkpoint);
                 }
             }
+            Ev::ComponentFault { event } => self.component_fault(ctx, event),
         }
     }
 }

@@ -170,6 +170,8 @@ fn faults_off_reproduces_the_fault_free_trajectory_bit_identically() {
     assert_eq!(s1, s2);
     assert_eq!(s1.dropped + s1.duplicated + s1.reordered + s1.corrupted, 0);
     assert_eq!(s1.decode_failures, 0);
+    assert_eq!(s1.decode_failures_by_kind, [0; 6]);
+    assert_eq!(s1.link_decode_failures_by_kind, [0; 4]);
     // Batching observability: every delivered frame rode in exactly one
     // batch, and the counters are internally consistent.
     assert!(s1.batches > 0, "no batches opened");
@@ -291,6 +293,18 @@ fn corruption_is_counted_and_absorbed() {
         );
         let s = sim.classical_stats();
         assert!(s.decode_failures <= s.corrupted);
+        // Per-kind breakdown: every counted failure lands in exactly one
+        // bucket, so the buckets always sum back to the totals.
+        assert_eq!(
+            s.decode_failures_by_kind.iter().sum::<u64>(),
+            s.decode_failures,
+            "QNP decode-failure buckets must sum to the total: {s:?}"
+        );
+        assert_eq!(
+            s.link_decode_failures_by_kind.iter().sum::<u64>(),
+            s.link_decode_failures,
+            "link decode-failure buckets must sum to the total: {s:?}"
+        );
         corrupted += s.corrupted;
         failures += s.decode_failures;
     }

@@ -27,9 +27,9 @@ use proptest::prelude::*;
 use qn_hardware::params::{FibreParams, HardwareParams};
 use qn_net::{Address, AppEvent, CircuitId, Demand, RequestId, RequestType, UserRequest};
 use qn_netsim::build::{NetSim, NetworkBuilder};
-use qn_netsim::ClassicalFaults;
+use qn_netsim::{ClassicalFaults, FaultPlan};
 use qn_routing::{chain, CutoffPolicy};
-use qn_sim::{NodeId, SimDuration};
+use qn_sim::{NodeId, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// One user-visible operation against the running network.
@@ -103,6 +103,7 @@ pub struct NetsimSpec {
     seed: u64,
     fault: Option<NetsimFault>,
     wired: bool,
+    chaos: bool,
 }
 
 impl NetsimSpec {
@@ -112,6 +113,7 @@ impl NetsimSpec {
             seed,
             fault: None,
             wired: false,
+            chaos: false,
         }
     }
 
@@ -121,6 +123,7 @@ impl NetsimSpec {
             seed,
             fault: Some(fault),
             wired: false,
+            chaos: false,
         }
     }
 
@@ -134,6 +137,25 @@ impl NetsimSpec {
             seed,
             fault: None,
             wired: true,
+            chaos: false,
+        }
+    }
+
+    /// A wired runtime under **component-fault chaos**: both links of
+    /// the chain churn through a seed-derived stochastic MTBF/MTTR
+    /// schedule for the first two simulated seconds. The checker keeps
+    /// the safety half of the contract — at most `n` confirmed pairs
+    /// per end, dense sequences, completion reported exactly once —
+    /// and drops the liveness half (a request may legitimately starve
+    /// while its hop is dark). After every settle (which runs far past
+    /// the churn horizon) nothing may leak: zero live pairs, zero armed
+    /// timers, zero retained correlator state.
+    pub fn chaos(seed: u64) -> Self {
+        NetsimSpec {
+            seed,
+            fault: None,
+            wired: true,
+            chaos: true,
         }
     }
 }
@@ -169,7 +191,15 @@ impl NetsimSpec {
                     r.completed = true;
                 }
                 AppEvent::RequestRejected(id, reason) => {
-                    return Err(format!("unexpected rejection of {id}: {reason}"));
+                    if self.chaos {
+                        // A request can land while its hop is dark;
+                        // rejection is terminal, like a cancellation.
+                        if let Some(r) = model.requests.get_mut(&id.0) {
+                            r.cancelled = true;
+                        }
+                    } else {
+                        return Err(format!("unexpected rejection of {id}: {reason}"));
+                    }
                 }
                 _ => {}
             }
@@ -221,7 +251,9 @@ impl NetsimSpec {
                     r.n
                 ));
             }
-            if settled && r.accepted && !r.completed {
+            // Liveness: only guaranteed on a fault-free runtime — under
+            // component churn a request may starve while its hop is dark.
+            if settled && r.accepted && !r.completed && !self.chaos {
                 return Err(format!(
                     "request {rid} still incomplete after settling ({head}/{} at head)",
                     r.n
@@ -234,6 +266,22 @@ impl NetsimSpec {
                 "{} entangled pairs leaked after settling",
                 system.sim.live_pairs()
             ));
+        }
+        if settled && self.chaos {
+            // The chaos bar: a settle runs far past the churn horizon,
+            // so every fault schedule must end with nothing retained.
+            if system.sim.armed_timers() != 0 {
+                return Err(format!(
+                    "{} timers still armed after settling under chaos",
+                    system.sim.armed_timers()
+                ));
+            }
+            if system.sim.retained_correlators() != 0 {
+                return Err(format!(
+                    "{} correlator records retained after settling under chaos",
+                    system.sim.retained_correlators()
+                ));
+            }
         }
         Ok(())
     }
@@ -290,6 +338,27 @@ impl ModelSpec for NetsimSpec {
         }
         if self.wired {
             b = b.signalling_on_wire();
+        }
+        if self.chaos {
+            // Seed-derived stochastic churn on both hops for the first
+            // two seconds; the track timeout reclaims endpoint pairs
+            // whose confirmations died on a dark hop.
+            b = b.track_timeout(SimDuration::from_secs(2)).fault_plan(
+                FaultPlan::new()
+                    .horizon(SimTime::ZERO + SimDuration::from_secs(2))
+                    .link_mtbf(
+                        NodeId(0),
+                        NodeId(1),
+                        SimDuration::from_millis(500),
+                        SimDuration::from_millis(50),
+                    )
+                    .link_mtbf(
+                        NodeId(1),
+                        NodeId(2),
+                        SimDuration::from_millis(500),
+                        SimDuration::from_millis(50),
+                    ),
+            );
         }
         let mut sim = b.build();
         let (head, tail) = (NodeId(0), NodeId(2));
@@ -430,6 +499,24 @@ mod tests {
         match run_ops(&spec, &ops) {
             Ok(applied) => assert_eq!(applied, 4),
             Err(d) => panic!("wired runtime diverged: step {} — {}", d.step, d.message),
+        }
+    }
+
+    #[test]
+    fn submit_settle_passes_under_component_chaos() {
+        // Link churn during the first two seconds: safety (at most n,
+        // dense sequences, exactly-once completion) plus zero-leak
+        // after the settle must hold whatever the schedule does.
+        let ops = [
+            NetOp::Submit { pairs: 2 },
+            NetOp::Advance { millis: 300 },
+            NetOp::Submit { pairs: 1 },
+            NetOp::Settle,
+        ];
+        let spec = NetsimSpec::chaos(11);
+        match run_ops(&spec, &ops) {
+            Ok(applied) => assert_eq!(applied, 4),
+            Err(d) => panic!("chaos runtime diverged: step {} — {}", d.step, d.message),
         }
     }
 

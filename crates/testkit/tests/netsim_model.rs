@@ -36,6 +36,19 @@ fn netsim_runtime_matches_model() {
         .run();
 }
 
+/// The chaos leg: the same random operation sequences against a wired
+/// runtime whose links churn through a seed-derived component-fault
+/// schedule. Safety (at most n per end, dense sequences, exactly-once
+/// completion) and zero-leak-after-settle must hold for every schedule;
+/// liveness is waived while hops are dark.
+#[test]
+fn netsim_chaos_matches_model() {
+    ModelTest::new("netsim_chaos_matches_model", NetsimSpec::chaos(17))
+        .cases(16)
+        .max_ops(8)
+        .run();
+}
+
 /// Injected runtime fault #1: a classical plane that drops every
 /// message. No request can ever complete; the divergence must shrink to
 /// the minimal reproduction — submit one request, settle.
