@@ -1,0 +1,279 @@
+//! Threaded executor for partitioned simulations: the worker pool
+//! drives one conservative-lookahead epoch per shard per round, with an
+//! mpsc barrier between rounds.
+//!
+//! The per-shard epoch code and the mailbox merge are shared with the
+//! serial reference (`qn_sim::shard::{drain_epoch, merge_mailboxes}`),
+//! so the only thing this module adds is *where* each epoch runs — and
+//! the barrier guarantees the merge sees outboxes in shard order
+//! regardless of completion order. The result (shard states and
+//! [`PartitionStats`], digest included) is therefore **bit-identical**
+//! to [`qn_sim::shard::run_partitioned_serial`] at any thread count.
+//!
+//! Shard state ping-pongs between the main thread and the pool by
+//! *move*: each round, every runnable shard (its queue holds an event
+//! inside the epoch window) is boxed into a job carrying its state and
+//! queue; the job drains the epoch and sends everything back over the
+//! barrier channel. No locks, no shared mutation, no
+//! completion-order-dependent behaviour.
+
+use crate::pool::ThreadPool;
+use qn_sim::shard::{drain_epoch, merge_mailboxes, OutMsg, PartitionStats, ShardCtx, FNV_OFFSET};
+use qn_sim::{EventQueue, SimDuration, SimTime};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Run a partitioned simulation on `threads` pool workers.
+///
+/// Semantics are exactly those of
+/// [`qn_sim::shard::run_partitioned_serial`]: per-shard state and
+/// queues, epochs spanning `[bound, bound + lookahead)`, cross-shard
+/// sends only through the epoch mailbox (delay ≥ lookahead, enforced),
+/// deterministic `(time, src shard, outbox index)` merge order at the
+/// barrier, events dispatched up to and including `until`. The returned
+/// shard states and stats are bit-identical to the serial executor at
+/// any thread count — `threads <= 1` *is* the serial executor.
+///
+/// # Panics
+///
+/// If `lookahead` is zero, or a handler panics on a worker (the first
+/// panic is propagated after the pool drains, like
+/// [`crate::run_sweep`]).
+pub fn run_partitioned<S, E, F>(
+    threads: usize,
+    shards: Vec<S>,
+    initial: Vec<(usize, SimTime, E)>,
+    lookahead: SimDuration,
+    until: SimTime,
+    handler: F,
+) -> (Vec<S>, PartitionStats)
+where
+    S: Send + 'static,
+    E: Send + 'static,
+    F: Fn(usize, &mut S, SimTime, E, &mut ShardCtx<'_, E>) + Send + Sync + 'static,
+{
+    assert!(
+        lookahead > SimDuration::ZERO,
+        "partitioned runs need a positive lookahead"
+    );
+    let n = shards.len();
+    if threads <= 1 || n <= 1 {
+        return qn_sim::shard::run_partitioned_serial(shards, initial, lookahead, until, handler);
+    }
+
+    let mut queues: Vec<EventQueue<E>> = (0..n).map(|_| EventQueue::new()).collect();
+    for (shard, at, event) in initial {
+        queues[shard.min(n - 1)].push(at, event);
+    }
+    let mut stats = PartitionStats {
+        mailbox_digest: FNV_OFFSET,
+        ..PartitionStats::default()
+    };
+
+    let handler = Arc::new(handler);
+    let pool = ThreadPool::new(threads.min(n));
+    // Slots hold each shard's (state, queue) while it is on the main
+    // side of the barrier; `None` marks it in flight on a worker.
+    let mut slots: Vec<Option<(S, EventQueue<E>)>> = shards
+        .into_iter()
+        .zip(queues)
+        .map(|(s, q)| Some((s, q)))
+        .collect();
+
+    loop {
+        let bound = slots
+            .iter_mut()
+            .filter_map(|slot| slot.as_mut().and_then(|(_, q)| q.peek_time()))
+            .min();
+        let Some(bound) = bound else {
+            break;
+        };
+        if bound > until {
+            break;
+        }
+        let horizon = bound.saturating_add(lookahead);
+        stats.epochs += 1;
+
+        // Fan out: every shard whose next event falls inside the epoch
+        // window runs this round; idle shards stay on the main side.
+        let (tx, rx) = mpsc::channel();
+        let mut in_flight = 0usize;
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let runnable = slot
+                .as_mut()
+                .and_then(|(_, q)| q.peek_time())
+                .is_some_and(|t| t < horizon && t <= until);
+            if !runnable {
+                continue;
+            }
+            let (mut state, mut queue) = slot.take().expect("runnable slot is occupied");
+            let tx = tx.clone();
+            let handler = Arc::clone(&handler);
+            in_flight += 1;
+            pool.execute(move || {
+                let (outbox, processed) = drain_epoch(
+                    i, n, lookahead, &mut state, &mut queue, horizon, until, &*handler,
+                );
+                // The receiver only disappears if the main thread is
+                // already unwinding.
+                let _ = tx.send((i, state, queue, outbox, processed));
+            });
+        }
+        drop(tx);
+
+        // Barrier: collect every shard back. Completion order is
+        // thread-dependent; everything below re-establishes shard
+        // order before any of it can matter.
+        let mut outboxes: Vec<Vec<OutMsg<E>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut processed_by_shard = vec![0u64; n];
+        for _ in 0..in_flight {
+            match rx.recv() {
+                Ok((i, state, queue, outbox, processed)) => {
+                    outboxes[i] = outbox;
+                    processed_by_shard[i] = processed;
+                    slots[i] = Some((state, queue));
+                }
+                Err(_) => {
+                    // A worker died mid-epoch: joining the pool
+                    // re-raises its panic with the original payload.
+                    pool.join();
+                    unreachable!("worker vanished without panicking");
+                }
+            }
+        }
+        for p in &processed_by_shard {
+            stats.processed += p;
+        }
+
+        // Deterministic merge, in shard order — identical to serial.
+        let mut queue_refs: Vec<EventQueue<E>> = slots
+            .iter_mut()
+            .map(|slot| {
+                let (_, q) = slot.as_mut().expect("all shards returned at the barrier");
+                std::mem::take(q)
+            })
+            .collect();
+        merge_mailboxes(outboxes, &mut queue_refs, &mut stats);
+        for (slot, q) in slots.iter_mut().zip(queue_refs) {
+            slot.as_mut().expect("occupied").1 = q;
+        }
+    }
+
+    pool.join();
+    let shards = slots
+        .into_iter()
+        .map(|slot| slot.expect("run left every shard in place").0)
+        .collect();
+    (shards, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_sim::shard::run_partitioned_serial;
+
+    fn t(ps: u64) -> SimTime {
+        SimTime::from_ps(ps)
+    }
+
+    fn la(ps: u64) -> SimDuration {
+        SimDuration::from_ps(ps)
+    }
+
+    /// A deterministic per-shard workload: xorshift churn plus
+    /// cross-shard pings, heavier on low shard indices so completion
+    /// order inverts shard order under parallel execution.
+    fn churn(
+        shard: usize,
+        state: &mut (u64, Vec<(u64, u64)>),
+        now: SimTime,
+        payload: u64,
+        ctx: &mut ShardCtx<'_, u64>,
+    ) {
+        let spins = 1 + (3 - shard.min(3)) * 50;
+        for _ in 0..spins {
+            state.0 ^= state.0 << 13;
+            state.0 ^= state.0 >> 7;
+            state.0 ^= state.0 << 17;
+            state.0 = state.0.wrapping_add(payload);
+        }
+        state.1.push((now.as_ps(), payload));
+        if payload > 0 {
+            let dst = (shard + 1) % ctx.n_shards();
+            ctx.send(dst, la(10), payload - 1);
+            if payload % 3 == 0 {
+                // Some local follow-up work under the lookahead bound.
+                ctx.schedule_in(la(2), payload / 2);
+            }
+        }
+    }
+
+    fn seeds(n: usize) -> (Vec<(u64, Vec<(u64, u64)>)>, Vec<(usize, SimTime, u64)>) {
+        let shards = (0..n).map(|i| (0x9e37 + i as u64, Vec::new())).collect();
+        let initial = (0..n).map(|i| (i, t(i as u64), 40 + i as u64)).collect();
+        (shards, initial)
+    }
+
+    #[test]
+    fn threaded_matches_serial_bit_for_bit() {
+        let (shards, initial) = seeds(4);
+        let (serial, serial_stats) =
+            run_partitioned_serial(shards, initial, la(10), SimTime::MAX, churn);
+        for threads in [2, 3, 4, 8] {
+            let (shards, initial) = seeds(4);
+            let (par, par_stats) =
+                run_partitioned(threads, shards, initial, la(10), SimTime::MAX, churn);
+            assert_eq!(par, serial, "{threads} threads");
+            assert_eq!(
+                par_stats, serial_stats,
+                "{threads} threads (stats + digest)"
+            );
+        }
+    }
+
+    #[test]
+    fn horizon_bound_matches_serial() {
+        let (shards, initial) = seeds(3);
+        let (serial, s1) = run_partitioned_serial(shards, initial, la(10), t(200), churn);
+        let (shards, initial) = seeds(3);
+        let (par, s2) = run_partitioned(3, shards, initial, la(10), t(200), churn);
+        assert_eq!(par, serial);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn single_thread_is_the_serial_path() {
+        let (shards, initial) = seeds(2);
+        let (a, s1) = run_partitioned(1, shards, initial, la(10), SimTime::MAX, churn);
+        let (shards, initial) = seeds(2);
+        let (b, s2) = run_partitioned_serial(shards, initial, la(10), SimTime::MAX, churn);
+        assert_eq!(a, b);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let err = std::panic::catch_unwind(|| {
+            run_partitioned(
+                2,
+                vec![(), ()],
+                vec![(0, t(0), 1u64), (1, t(0), 2u64)],
+                la(5),
+                SimTime::MAX,
+                |shard, _state: &mut (), _now, _v, _ctx| {
+                    if shard == 1 {
+                        panic!("shard 1 exploded");
+                    }
+                },
+            )
+        })
+        .expect_err("the shard panic must surface");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("shard 1 exploded"), "payload: {msg:?}");
+    }
+}

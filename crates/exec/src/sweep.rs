@@ -34,16 +34,26 @@ where
 
 /// The sweep thread count: `QNP_THREADS`, defaulting to the machine's
 /// available parallelism (at least 1).
+///
+/// # Panics
+///
+/// If `QNP_THREADS` is set to zero or anything that is not a positive
+/// integer. A typo'd knob silently degrading to the default is exactly
+/// the kind of quiet misconfiguration the rest of the workspace refuses
+/// (cf. `FaultPlan::validate`), so the sweep runner refuses too.
 pub fn threads() -> usize {
-    std::env::var("QNP_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    match std::env::var("QNP_THREADS") {
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => panic!(
+                "invalid QNP_THREADS={raw:?}: must be a positive integer \
+                 (unset it to use the detected parallelism)"
+            ),
+        },
+    }
 }
 
 /// Run `scenario` once per seed on [`threads()`] workers; results come

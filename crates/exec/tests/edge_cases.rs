@@ -2,6 +2,7 @@
 //! counts exceeding the work, and deterministic panic propagation.
 
 use qn_exec::{run_sweep_with, threads, ThreadPool};
+use qn_sim::shard::shards_from_env;
 use std::panic;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -107,9 +108,10 @@ fn panic_at_index_zero_propagates() {
     assert_eq!(msg, "boom at the head");
 }
 
-/// `QNP_THREADS` parsing: positive integers are honoured, zero and
-/// garbage fall back to the detected default. Runs in one test to keep
-/// the env-var mutation sequential.
+/// `QNP_THREADS` parsing: unset uses the detected default, positive
+/// integers are honoured, and zero or garbage **fails fast** — a typo'd
+/// knob must never silently degrade to a different thread count. Runs
+/// in one test to keep the env-var mutation sequential.
 #[test]
 fn qnp_threads_parsing() {
     let default = {
@@ -121,12 +123,45 @@ fn qnp_threads_parsing() {
     std::env::set_var("QNP_THREADS", "3");
     assert_eq!(threads(), 3);
 
-    std::env::set_var("QNP_THREADS", "0");
-    assert_eq!(threads(), default, "zero is not a valid worker count");
-
-    std::env::set_var("QNP_THREADS", "not-a-number");
-    assert_eq!(threads(), default);
+    for bad in ["0", "not-a-number", "-2", ""] {
+        std::env::set_var("QNP_THREADS", bad);
+        let err = panic::catch_unwind(threads)
+            .expect_err("zero/garbage QNP_THREADS must fail fast, not fall back");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("invalid QNP_THREADS") && msg.contains("positive integer"),
+            "QNP_THREADS={bad:?} panic message: {msg:?}"
+        );
+    }
 
     std::env::remove_var("QNP_THREADS");
     assert_eq!(threads(), default);
+}
+
+/// `QNP_SHARDS` follows the same convention: unset means "no sharding"
+/// (`None`), positive integers are honoured, zero or garbage fails
+/// fast with a message naming the knob.
+#[test]
+fn qnp_shards_parsing() {
+    std::env::remove_var("QNP_SHARDS");
+    assert_eq!(shards_from_env(), None);
+
+    std::env::set_var("QNP_SHARDS", "4");
+    assert_eq!(shards_from_env(), Some(4));
+    std::env::set_var("QNP_SHARDS", "1");
+    assert_eq!(shards_from_env(), Some(1));
+
+    for bad in ["0", "four", "-1", ""] {
+        std::env::set_var("QNP_SHARDS", bad);
+        let err = panic::catch_unwind(shards_from_env)
+            .expect_err("zero/garbage QNP_SHARDS must fail fast, not fall back");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("invalid QNP_SHARDS") && msg.contains("positive integer"),
+            "QNP_SHARDS={bad:?} panic message: {msg:?}"
+        );
+    }
+
+    std::env::remove_var("QNP_SHARDS");
+    assert_eq!(shards_from_env(), None);
 }

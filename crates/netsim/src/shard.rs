@@ -1,0 +1,325 @@
+//! Shard planning for conservative-lookahead sharded runs.
+//!
+//! A [`ShardPlan`] partitions a topology's nodes into shards and
+//! derives, from the classical plane's channel model, the **lookahead**:
+//! the minimum latency any cross-shard message can have. That bound is
+//! physical — every inter-node event travels over a fibre hop and pays
+//! at least `propagation + processing_delay + extra_message_delay`
+//! (jitter only ever adds) — so events executing inside one epoch
+//! window `[t, t + lookahead)` on different shards cannot affect each
+//! other, the classic Chandy–Misra–Bryant argument.
+//!
+//! Two rules keep the bound honest:
+//!
+//! * **Zero-latency hops share a shard.** A link whose channel lower
+//!   bound is zero (zero-length fibre and no processing delay) offers
+//!   no lookahead; its endpoints are merged into one shard (union-find)
+//!   so the bound only ranges over hops that actually pay latency.
+//! * **Global machinery lives on shard 0.** Circuit-scoped scenario
+//!   hooks, checkpoint sweeps and component faults touch cross-network
+//!   state and are routed to shard 0 rather than pretending they have a
+//!   home node.
+//!
+//! The plan drives [`qn_sim::ShardedSimulation`] (verification mode):
+//! per-shard queues, epoch/mailbox accounting, and a trajectory
+//! bit-identical to the single-queue engine by construction.
+
+use crate::runtime::{Ev, RuntimeConfig};
+use qn_routing::topology::Topology;
+use qn_sim::shard::Router;
+use qn_sim::{LinkId, NodeId, SimDuration};
+
+/// A node-to-shard assignment plus the conservative lookahead it
+/// supports. Build one with [`ShardPlan::new`]; feed it to
+/// [`crate::build::NetworkBuilder::shards`] via the builder (the normal
+/// path) or inspect it directly in tests.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    n_shards: usize,
+    /// Shard of each node, indexed by `NodeId.0` (holes map to 0).
+    node_shard: Vec<usize>,
+    /// Home shard of each link (the shard of its lower endpoint),
+    /// indexed by `LinkId.0`.
+    link_home: Vec<usize>,
+    lookahead: SimDuration,
+}
+
+/// The hard lower bound on the classical latency of one hop: fibre
+/// propagation plus the per-hop processing and injected extra delay.
+/// Jitter is excluded — it is a non-negative addition.
+fn hop_lower_bound(topology: &Topology, cfg: &RuntimeConfig, link: LinkId) -> SimDuration {
+    let spec = topology.link(link);
+    spec.physics.fibre().propagation_delay() + cfg.processing_delay + cfg.extra_message_delay
+}
+
+/// Union-find over node ranks, path-halving, no union by rank — the
+/// deterministic tie-break (smaller root wins) matters more than the
+/// tree depth at these sizes.
+struct UnionFind(Vec<usize>);
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind((0..n).collect())
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.0[x] != x {
+            self.0[x] = self.0[self.0[x]];
+            x = self.0[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        let (lo, hi) = (ra.min(rb), ra.max(rb));
+        self.0[hi] = lo;
+    }
+}
+
+impl ShardPlan {
+    /// Partition `topology` into (at most) `shards` shards under the
+    /// channel model of `cfg`.
+    ///
+    /// Nodes are split into contiguous ranges by id rank, then the
+    /// endpoints of every zero-lower-bound hop are merged and shard ids
+    /// are re-compacted, so the effective shard count can come out
+    /// lower than requested (1 at minimum). The lookahead is the
+    /// minimum [`hop_lower_bound`] over hops that ended up crossing
+    /// shards; a plan with no crossing hops keeps the minimum over all
+    /// positive hops (or 1 ps for a linkless topology) so the epoch
+    /// window stays well-defined.
+    ///
+    /// # Panics
+    ///
+    /// If `shards` is zero — the builder validates its knob before this
+    /// runs, so hitting the assert means a driver bug.
+    pub fn new(topology: &Topology, cfg: &RuntimeConfig, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        let nodes = topology.nodes();
+        let n_nodes = nodes.len().max(1);
+        let want = shards.min(n_nodes);
+
+        // Contiguous ranges over id rank: shard(rank) = rank·want/n.
+        let mut rank_shard: Vec<usize> = (0..n_nodes).map(|r| r * want / n_nodes).collect();
+
+        // Merge endpoints of hops that offer no lookahead.
+        let rank_of = |id: NodeId| nodes.binary_search(&id).expect("link endpoint exists");
+        let mut uf = UnionFind::new(n_nodes);
+        for spec in topology.links() {
+            if hop_lower_bound(topology, cfg, spec.id) == SimDuration::ZERO {
+                uf.union(rank_of(spec.a), rank_of(spec.b));
+            }
+        }
+        for r in 0..n_nodes {
+            let root = uf.find(r);
+            rank_shard[r] = rank_shard[root];
+        }
+
+        // Compact shard ids in order of first appearance over ranks.
+        let mut dense: Vec<Option<usize>> = vec![None; want];
+        let mut next = 0usize;
+        for s in rank_shard.iter_mut() {
+            let d = *dense[*s].get_or_insert_with(|| {
+                let d = next;
+                next += 1;
+                d
+            });
+            *s = d;
+        }
+        let n_shards = next.max(1);
+
+        let max_id = nodes.last().map(|n| n.0 as usize + 1).unwrap_or(0);
+        let mut node_shard = vec![0usize; max_id];
+        for (r, id) in nodes.iter().enumerate() {
+            node_shard[id.0 as usize] = rank_shard[r];
+        }
+        let link_home: Vec<usize> = topology
+            .links()
+            .iter()
+            .map(|spec| node_shard[spec.a.min(spec.b).0 as usize])
+            .collect();
+
+        // The lookahead: tightest hop that actually crosses shards.
+        let crossing = topology
+            .links()
+            .iter()
+            .filter(|spec| node_shard[spec.a.0 as usize] != node_shard[spec.b.0 as usize])
+            .map(|spec| hop_lower_bound(topology, cfg, spec.id))
+            .min();
+        let lookahead = crossing
+            .or_else(|| {
+                topology
+                    .links()
+                    .iter()
+                    .map(|spec| hop_lower_bound(topology, cfg, spec.id))
+                    .filter(|&d| d > SimDuration::ZERO)
+                    .min()
+            })
+            .unwrap_or(SimDuration::from_ps(1));
+        debug_assert!(lookahead > SimDuration::ZERO, "crossing hops pay latency");
+
+        ShardPlan {
+            n_shards,
+            node_shard,
+            link_home,
+            lookahead,
+        }
+    }
+
+    /// Effective number of shards (≤ requested: zero-latency merges and
+    /// small topologies compact it).
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The conservative lookahead bound: no cross-shard message can
+    /// arrive sooner than this after it is sent.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// The shard a node lives on.
+    pub fn node_shard(&self, node: NodeId) -> usize {
+        self.node_shard.get(node.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// The home shard of a link's generation process (its lower
+    /// endpoint's shard).
+    pub fn link_home(&self, link: LinkId) -> usize {
+        self.link_home.get(link.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Route one event to its shard: node-scoped events to the node's
+    /// shard, link generation to the link's home, circuit-scoped hooks
+    /// and global machinery to shard 0.
+    pub fn route(&self, ev: &Ev) -> usize {
+        match ev {
+            Ev::BatchDeliver { to, .. } => self.node_shard(*to),
+            Ev::TrackExpiry { node, .. }
+            | Ev::OrphanCheck { node, .. }
+            | Ev::SwapDone { node, .. }
+            | Ev::MeasureDone { node, .. }
+            | Ev::Cutoff { node, .. }
+            | Ev::MoveDone { node, .. }
+            | Ev::TrackRetransmit { node, .. }
+            | Ev::RequestResend { node, .. } => self.node_shard(*node),
+            Ev::GenDone { link } => self.link_home(*link),
+            Ev::SignalKick { .. }
+            | Ev::SignalRetransmit { .. }
+            | Ev::SubmitRequest { .. }
+            | Ev::CancelRequest { .. }
+            | Ev::Teardown { .. }
+            | Ev::Checkpoint
+            | Ev::ComponentFault { .. } => 0,
+        }
+    }
+
+    /// Box the plan up as a [`qn_sim::ShardedQueues`] router.
+    pub fn router(&self) -> Router<Ev> {
+        let plan = self.clone();
+        Box::new(move |ev| plan.route(ev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qn_hardware::heralding::LinkPhysics;
+    use qn_hardware::params::{FibreParams, HardwareParams};
+    use qn_routing::topology::{chain, Topology};
+
+    fn cfg() -> RuntimeConfig {
+        RuntimeConfig::default()
+    }
+
+    #[test]
+    fn contiguous_ranges_cover_all_shards() {
+        let topology = chain(8, HardwareParams::simulation(), FibreParams::lab_2m());
+        let plan = ShardPlan::new(&topology, &cfg(), 4);
+        assert_eq!(plan.n_shards(), 4);
+        let shards: Vec<usize> = (0..8).map(|i| plan.node_shard(NodeId(i))).collect();
+        assert_eq!(shards, [0, 0, 1, 1, 2, 2, 3, 3]);
+        // Monotone over node rank, every shard non-empty.
+        assert!(shards.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn lookahead_is_the_tightest_crossing_hop() {
+        let topology = chain(4, HardwareParams::simulation(), FibreParams::lab_2m());
+        let c = cfg();
+        let plan = ShardPlan::new(&topology, &c, 2);
+        let expected = hop_lower_bound(&topology, &c, topology.links()[0].id);
+        assert_eq!(plan.lookahead(), expected);
+        assert!(plan.lookahead() > SimDuration::ZERO);
+        // Default config: 2 m of fibre + 5 µs processing.
+        assert!(plan.lookahead() >= SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn zero_latency_hops_are_forced_into_one_shard() {
+        // A 4-chain whose middle hop has zero length, under a config
+        // with no processing delay: nodes 1 and 2 offer no lookahead
+        // between them and must share a shard.
+        let params = HardwareParams::simulation();
+        let mut topology = Topology::new();
+        topology.add_link(
+            NodeId(0),
+            NodeId(1),
+            LinkPhysics::new(params.clone(), FibreParams::lab_2m()),
+        );
+        topology.add_link(
+            NodeId(1),
+            NodeId(2),
+            LinkPhysics::new(params.clone(), FibreParams::telecom(0.0)),
+        );
+        topology.add_link(
+            NodeId(2),
+            NodeId(3),
+            LinkPhysics::new(params, FibreParams::lab_2m()),
+        );
+        let mut c = cfg();
+        c.processing_delay = SimDuration::ZERO;
+        let plan = ShardPlan::new(&topology, &c, 4);
+        assert_eq!(
+            plan.node_shard(NodeId(1)),
+            plan.node_shard(NodeId(2)),
+            "a zero-latency hop cannot cross shards"
+        );
+        assert!(plan.n_shards() < 4, "the merge compacts the shard count");
+        assert!(plan.lookahead() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_clamps() {
+        let topology = chain(3, HardwareParams::simulation(), FibreParams::lab_2m());
+        let plan = ShardPlan::new(&topology, &cfg(), 64);
+        assert_eq!(plan.n_shards(), 3);
+    }
+
+    #[test]
+    fn global_events_route_to_shard_zero() {
+        let topology = chain(6, HardwareParams::simulation(), FibreParams::lab_2m());
+        let plan = ShardPlan::new(&topology, &cfg(), 3);
+        assert_eq!(plan.route(&Ev::Checkpoint), 0);
+        assert_eq!(
+            plan.route(&Ev::Cutoff {
+                node: NodeId(5),
+                circuit: qn_net::ids::CircuitId(1),
+                side: qn_net::routing_table::LinkSide::Upstream,
+                correlator: qn_net::ids::Correlator {
+                    node_a: NodeId(4),
+                    node_b: NodeId(5),
+                    seq: 7,
+                },
+            }),
+            plan.node_shard(NodeId(5))
+        );
+        assert_eq!(
+            plan.route(&Ev::GenDone {
+                link: topology.links()[4].id
+            }),
+            plan.link_home(topology.links()[4].id)
+        );
+    }
+}

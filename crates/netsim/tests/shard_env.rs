@@ -1,0 +1,62 @@
+//! The `QNP_SHARDS` environment knob. Lives in its own integration
+//! binary so the env-var mutation cannot race the equivalence suite —
+//! integration test files run as separate processes.
+
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_netsim::build::NetworkBuilder;
+use qn_routing::dumbbell;
+
+fn build() -> qn_netsim::build::NetSim {
+    let (topology, _) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    NetworkBuilder::new(topology).seed(5).build()
+}
+
+/// Unset ⇒ the single-queue engine; a positive integer ⇒ that many
+/// shards; an explicit builder call wins over the env; zero or garbage
+/// fails fast. One test fn keeps the env mutation sequential.
+#[test]
+fn qnp_shards_env_selects_the_engine() {
+    std::env::remove_var("QNP_SHARDS");
+    assert!(build().shard_stats().is_none());
+    assert_eq!(build().shards(), 1);
+
+    std::env::set_var("QNP_SHARDS", "3");
+    let sim = build();
+    assert_eq!(sim.shards(), 3);
+    assert!(sim.shard_stats().is_some());
+
+    // Builder override beats the env knob.
+    let (topology, _) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    let sim = NetworkBuilder::new(topology).seed(5).shards(2).build();
+    assert_eq!(sim.shards(), 2);
+
+    // Zero or garbage fails fast at build — never a silent fallback to
+    // a different engine.
+    for bad in ["0", "many"] {
+        std::env::set_var("QNP_SHARDS", bad);
+        let Err(err) = std::panic::catch_unwind(|| {
+            build();
+        }) else {
+            panic!("invalid QNP_SHARDS must panic at build");
+        };
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("invalid QNP_SHARDS"),
+            "QNP_SHARDS={bad:?} panic message: {msg:?}"
+        );
+    }
+    std::env::remove_var("QNP_SHARDS");
+
+    let Err(err) = std::panic::catch_unwind(|| {
+        let (topology, _) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+        let _ = NetworkBuilder::new(topology).shards(0);
+    }) else {
+        panic!("shards(0) must panic");
+    };
+    let msg = err
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| err.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("invalid shard count"), "message: {msg:?}");
+}

@@ -1,0 +1,188 @@
+//! Sharded-engine equivalence: a `shards(n)` run must reproduce the
+//! single-queue engine's trajectory **bit-identically** — same event
+//! trace, same deliveries (oracle fidelities compared bit-exact), same
+//! `events_processed`, same final clock — while additionally reporting
+//! epoch/mailbox statistics. This is the verification gate of the
+//! conservative-lookahead sharding: any divergence means the per-shard
+//! queues reordered something the global `(time, seq)` order forbids.
+
+use qn_hardware::params::{FibreParams, HardwareParams};
+use qn_net::{Address, Demand, RequestId, RequestType, UserRequest};
+use qn_netsim::build::{NetSim, NetworkBuilder};
+use qn_routing::{dumbbell, wide_dumbbell, CutoffPolicy};
+use qn_sim::{NodeId, SimDuration, SimTime};
+
+fn keep(id: u64, head: NodeId, tail: NodeId, f: f64, n: u64) -> UserRequest {
+    UserRequest {
+        id: RequestId(id),
+        head: Address {
+            node: head,
+            identifier: 0,
+        },
+        tail: Address {
+            node: tail,
+            identifier: 0,
+        },
+        min_fidelity: f,
+        demand: Demand::Pairs { n, deadline: None },
+        request_type: RequestType::Keep,
+        final_state: None,
+    }
+}
+
+/// The determinism-suite workload (two circuits, three requests over
+/// the dumbbell bottleneck), on the engine selected by `shards`.
+fn run_scenario(seed: u64, shards: Option<usize>) -> NetSim {
+    let (topology, d) = dumbbell(HardwareParams::simulation(), FibreParams::lab_2m());
+    let mut builder = NetworkBuilder::new(topology).seed(seed).with_trace();
+    if let Some(n) = shards {
+        builder = builder.shards(n);
+    }
+    let mut sim = builder.build();
+    let vc0 = sim
+        .open_circuit(d.a0, d.b0, 0.85, CutoffPolicy::short())
+        .expect("plan a0-b0");
+    let vc1 = sim
+        .open_circuit(d.a1, d.b1, 0.8, CutoffPolicy::short())
+        .expect("plan a1-b1");
+    sim.submit_at(SimTime::ZERO, vc0, keep(1, d.a0, d.b0, 0.85, 3));
+    sim.submit_at(SimTime::ZERO, vc1, keep(2, d.a1, d.b1, 0.8, 2));
+    sim.submit_at(
+        SimTime::ZERO + SimDuration::from_secs(2),
+        vc0,
+        keep(3, d.a0, d.b0, 0.85, 1),
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(20));
+    sim
+}
+
+/// Everything observable about a run, floats captured bit-exactly.
+fn fingerprint(
+    sim: &NetSim,
+) -> (
+    String,
+    u64,
+    u64,
+    u64,
+    Vec<(u64, u32, u64, u64, Option<u64>)>,
+) {
+    let deliveries = sim
+        .app()
+        .deliveries
+        .iter()
+        .map(|r| {
+            (
+                r.time.as_ps(),
+                r.node.0,
+                r.request.0,
+                r.sequence,
+                r.oracle_fidelity.map(f64::to_bits),
+            )
+        })
+        .collect();
+    (
+        sim.trace().render(),
+        sim.events_processed(),
+        sim.discarded_pairs(),
+        sim.now().as_ps(),
+        deliveries,
+    )
+}
+
+fn assert_same_trajectory(label: &str, sharded: &NetSim, single: &NetSim) {
+    let fs = fingerprint(sharded);
+    let fu = fingerprint(single);
+    assert_eq!(fs.1, fu.1, "{label}: events_processed diverged");
+    assert_eq!(fs.2, fu.2, "{label}: discard counts diverged");
+    assert_eq!(fs.3, fu.3, "{label}: final clocks diverged");
+    assert_eq!(fs.4, fu.4, "{label}: deliveries diverged");
+    assert_eq!(fs.0, fu.0, "{label}: event traces diverged");
+    assert!(!fs.4.is_empty(), "{label}: scenario must deliver pairs");
+}
+
+/// A 1-shard run is the degenerate case: one heap behind the epoch
+/// machinery. It must match the plain engine exactly, including the
+/// `events_processed` count, and still report shard statistics.
+#[test]
+fn one_shard_is_bit_identical_to_unsharded() {
+    let single = run_scenario(2026, None);
+    let sharded = run_scenario(2026, Some(1));
+    assert_same_trajectory("1 shard", &sharded, &single);
+    assert!(single.shard_stats().is_none(), "unsharded reports no stats");
+    assert_eq!(single.shards(), 1);
+    let stats = sharded.shard_stats().expect("sharded run reports stats");
+    assert_eq!(stats.shards, 1);
+    assert_eq!(
+        stats.cross_shard_events, 0,
+        "one shard has nowhere to cross to"
+    );
+    assert!(stats.epochs > 0, "the run advanced through epochs");
+}
+
+/// The real gate: a 4-shard run over the dumbbell (nodes split across
+/// four regions, traffic crossing all of them) dispatches the exact
+/// single-queue trajectory while the mailbox counters show genuine
+/// cross-shard traffic.
+#[test]
+fn four_shards_reproduce_the_unsharded_trajectory() {
+    let single = run_scenario(2026, None);
+    let sharded = run_scenario(2026, Some(4));
+    assert_same_trajectory("4 shards", &sharded, &single);
+    let stats = sharded.shard_stats().expect("sharded run reports stats");
+    assert_eq!(stats.shards, 4);
+    assert!(stats.epochs > 0);
+    assert!(
+        stats.cross_shard_events > 0,
+        "dumbbell traffic must cross shards: {stats:?}"
+    );
+    assert_eq!(
+        stats.lookahead_violations, 0,
+        "the channel lower bound must hold for inter-node messages: {stats:?}"
+    );
+}
+
+/// Shard counts that do not divide the topology evenly (3 shards over
+/// 6 nodes, 5 shards over a width-3 dumbbell's 8 nodes) are just as
+/// bit-identical — the contiguous-range split has no even-divisor
+/// special case.
+#[test]
+fn uneven_shard_counts_match_too() {
+    let single = run_scenario(909, None);
+    for shards in [2usize, 3, 5] {
+        let sharded = run_scenario(909, Some(shards));
+        assert_same_trajectory(&format!("{shards} shards"), &sharded, &single);
+    }
+}
+
+/// The wider topology (more nodes, more RNG substreams, more circuits
+/// contending) under a sharded engine: same trajectory, and the
+/// mailbox digest is reproducible run-to-run.
+#[test]
+fn sharded_wide_dumbbell_matches_and_digest_reproduces() {
+    let run = |shards: Option<usize>| {
+        let (topology, w) = wide_dumbbell(3, HardwareParams::simulation(), FibreParams::lab_2m());
+        let mut builder = NetworkBuilder::new(topology).seed(4043).with_trace();
+        if let Some(n) = shards {
+            builder = builder.shards(n);
+        }
+        let mut sim = builder.build();
+        for (i, (head, tail)) in w.straight_pairs().into_iter().enumerate() {
+            let vc = sim
+                .open_circuit(head, tail, 0.8, CutoffPolicy::short())
+                .expect("straight-across circuit plan must be feasible");
+            sim.submit_at(SimTime::ZERO, vc, keep(i as u64 + 1, head, tail, 0.8, 2));
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(12));
+        sim
+    };
+    let single = run(None);
+    let a = run(Some(4));
+    let b = run(Some(4));
+    assert_same_trajectory("wide 4 shards", &a, &single);
+    let (sa, sb) = (a.shard_stats().unwrap(), b.shard_stats().unwrap());
+    assert_eq!(sa, sb, "shard statistics must reproduce run-to-run");
+    assert_ne!(
+        sa.mailbox_digest, 0,
+        "a run with cross-shard traffic leaves a digest"
+    );
+}

@@ -7,6 +7,7 @@
 //! future events, inspects the clock, and requests a stop.
 
 use crate::queue::{EventId, EventQueue};
+use crate::shard::ShardedQueues;
 use crate::time::{SimDuration, SimTime};
 
 /// A discrete-event model. Implemented by the network runtime.
@@ -19,34 +20,75 @@ pub trait Model {
     fn handle(&mut self, now: SimTime, event: Self::Event, ctx: &mut Context<'_, Self::Event>);
 }
 
+/// The scheduler a [`Context`] writes into: the single queue of
+/// [`Simulation`] or the per-shard queues of
+/// [`crate::shard::ShardedSimulation`]. The two share id allocation and
+/// ordering semantics, so the model cannot tell them apart.
+enum QueueRef<'a, E> {
+    Single(&'a mut EventQueue<E>),
+    Sharded(&'a mut ShardedQueues<E>),
+}
+
 /// Scheduling handle passed to the model during event dispatch.
 pub struct Context<'a, E> {
-    queue: &'a mut EventQueue<E>,
+    queue: QueueRef<'a, E>,
     now: SimTime,
     stop: &'a mut bool,
 }
 
 impl<'a, E> Context<'a, E> {
+    pub(crate) fn single(queue: &'a mut EventQueue<E>, now: SimTime, stop: &'a mut bool) -> Self {
+        Context {
+            queue: QueueRef::Single(queue),
+            now,
+            stop,
+        }
+    }
+
+    pub(crate) fn sharded(
+        queues: &'a mut ShardedQueues<E>,
+        now: SimTime,
+        stop: &'a mut bool,
+    ) -> Self {
+        Context {
+            queue: QueueRef::Sharded(queues),
+            now,
+            stop,
+        }
+    }
+
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
     }
 
+    fn push(&mut self, at: SimTime, event: E) -> EventId {
+        match &mut self.queue {
+            QueueRef::Single(q) => q.push(at, event),
+            QueueRef::Sharded(q) => q.push(at, event),
+        }
+    }
+
     /// Schedule an event `delay` after the current time.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
-        self.queue.push(self.now + delay, event)
+        let at = self.now + delay;
+        self.push(at, event)
     }
 
     /// Schedule an event at an absolute time. Times in the past are clamped
     /// to "now" (the event still runs after the current one).
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
-        self.queue.push(at.max(self.now), event)
+        self.push(at.max(self.now), event)
     }
 
     /// Cancel a previously scheduled event. Returns `true` if it was still
-    /// pending.
+    /// pending. Under a sharded scheduler this works from any shard, on
+    /// events in any shard's queue — the pending set is shared.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.queue.cancel(id)
+        match &mut self.queue {
+            QueueRef::Single(q) => q.cancel(id),
+            QueueRef::Sharded(q) => q.cancel(id),
+        }
     }
 
     /// Request the engine to stop after the current event completes.
@@ -136,23 +178,34 @@ impl<M: Model> Simulation<M> {
         self.event_limit = limit;
     }
 
-    /// Dispatch the single earliest event. Returns `false` if the queue is
-    /// empty.
-    pub fn step(&mut self) -> bool {
+    /// Dispatch the single earliest event.
+    ///
+    /// Returns `None` when an event was dispatched and the run may
+    /// continue; otherwise the terminal [`RunOutcome`]: the event
+    /// budget was already exhausted ([`RunOutcome::EventLimit`], no
+    /// event dispatched), the queue was empty
+    /// ([`RunOutcome::QueueEmpty`]), or the dispatched event's handler
+    /// requested a stop ([`RunOutcome::Stopped`]) — the same
+    /// stop/budget contract as [`Simulation::run_until`], which a
+    /// plain `bool` used to silently drop.
+    pub fn step(&mut self) -> Option<RunOutcome> {
+        if self.processed >= self.event_limit {
+            return Some(RunOutcome::EventLimit);
+        }
         let Some((time, event)) = self.queue.pop() else {
-            return false;
+            return Some(RunOutcome::QueueEmpty);
         };
         debug_assert!(time >= self.now, "event queue violated time order");
         self.now = time;
         self.processed += 1;
         let mut stop = false;
-        let mut ctx = Context {
-            queue: &mut self.queue,
-            now: self.now,
-            stop: &mut stop,
-        };
+        let mut ctx = Context::single(&mut self.queue, self.now, &mut stop);
         self.model.handle(time, event, &mut ctx);
-        true
+        if stop {
+            Some(RunOutcome::Stopped)
+        } else {
+            None
+        }
     }
 
     /// Run until the queue drains, the model stops, or `horizon` is reached.
@@ -175,11 +228,7 @@ impl<M: Model> Simulation<M> {
             self.now = time;
             self.processed += 1;
             let mut stop = false;
-            let mut ctx = Context {
-                queue: &mut self.queue,
-                now: self.now,
-                stop: &mut stop,
-            };
+            let mut ctx = Context::single(&mut self.queue, self.now, &mut stop);
             self.model.handle(time, event, &mut ctx);
             if stop {
                 return RunOutcome::Stopped;
@@ -303,9 +352,39 @@ mod tests {
             fired_at: vec![],
         });
         sim.schedule_at(SimTime::ZERO, Ev::Tick);
-        assert!(sim.step());
+        assert_eq!(sim.step(), None);
         assert_eq!(sim.model().fired_at.len(), 1);
-        assert!(sim.step());
-        assert!(!sim.step());
+        assert_eq!(sim.step(), None);
+        assert_eq!(sim.step(), Some(RunOutcome::QueueEmpty));
+    }
+
+    #[test]
+    fn step_honours_model_stop_requests() {
+        let mut sim = Simulation::new(Countdown {
+            remaining: 0,
+            fired_at: vec![],
+        });
+        sim.schedule_at(SimTime::from_ps(5), Ev::StopNow);
+        sim.schedule_at(SimTime::from_ps(10), Ev::Tick);
+        // The stop request used to be built and then discarded; now the
+        // single-step driver sees it too.
+        assert_eq!(sim.step(), Some(RunOutcome::Stopped));
+        assert_eq!(sim.pending(), 1, "stop leaves later events queued");
+    }
+
+    #[test]
+    fn step_honours_the_event_limit() {
+        let mut sim = Simulation::new(Countdown {
+            remaining: u32::MAX,
+            fired_at: vec![],
+        });
+        sim.set_event_limit(2);
+        sim.schedule_at(SimTime::ZERO, Ev::Tick);
+        assert_eq!(sim.step(), None);
+        assert_eq!(sim.step(), None);
+        // The budget is checked before dispatch, exactly as in
+        // `run_until`: the third step dispatches nothing.
+        assert_eq!(sim.step(), Some(RunOutcome::EventLimit));
+        assert_eq!(sim.processed(), 2);
     }
 }

@@ -1,0 +1,923 @@
+//! Sharded event scheduling: conservative-lookahead within-run
+//! parallelism.
+//!
+//! Two layers live here, sharing the ordering machinery of
+//! [`crate::queue`]:
+//!
+//! 1. **[`ShardedQueues`] + [`ShardedSimulation`]** — the *verification
+//!    mode* behind `QNP_SHARDS`. One model, N per-shard event queues.
+//!    Every push routes through a shard router, but sequence numbers
+//!    (and therefore [`EventId`]s and the `(time, seq)` total order) are
+//!    allocated from a single global counter shared by all shards, and
+//!    the pending set is one shared [`SeqWindow`] — so a cross-shard
+//!    `cancel()` of a not-yet-merged event is the same O(1) bit clear
+//!    it always was, and the merged dispatch order is **bit-identical**
+//!    to the single-queue [`crate::Simulation`] by construction. On top
+//!    of the merge, the driver runs the conservative-lookahead epoch
+//!    accounting: each epoch spans `[bound, bound + lookahead)` where
+//!    `bound` is the global minimum pending time, cross-shard pushes
+//!    are keyed `(epoch, src_shard, lane = dst_shard, seq)` into a
+//!    deterministic mailbox digest, and pushes that land *inside* the
+//!    open epoch window are counted as lookahead violations — the
+//!    events a truly partitioned parallel run would have to block on.
+//!
+//! 2. **[`ShardCtx`] + [`run_partitioned_serial`]** — the *partitioned*
+//!    execution contract used by the genuinely parallel driver in
+//!    `qn_exec`: per-shard state, per-shard queues, cross-shard sends
+//!    only through an epoch mailbox with delay ≥ lookahead
+//!    (Chandy–Misra–Bryant made null-message-free by a shared epoch
+//!    barrier). The serial executor here is the bit-exact reference the
+//!    threaded executor is pinned against.
+//!
+//! The lookahead bound is physical: the classical plane's per-hop
+//! propagation + processing latency is a hard lower bound on how soon
+//! anything one shard does can influence another, so every shard may
+//! safely advance to `min(all shards' next event) + lookahead` before
+//! synchronising.
+
+use crate::engine::{Context, Model, RunOutcome};
+use crate::queue::{Entry, EventId, EventQueue, SeqWindow};
+use crate::time::{SimDuration, SimTime};
+use std::collections::BinaryHeap;
+
+/// Shard router: maps an event to the index of its home shard. Must be
+/// a pure function of the event (and static configuration) — never of
+/// execution timing.
+pub type Router<E> = Box<dyn Fn(&E) -> usize + Send>;
+
+/// Counters describing a sharded run: the epoch barrier activity and
+/// the cross-shard traffic the partitioning produced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of shards the run was partitioned into.
+    pub shards: usize,
+    /// Conservative-lookahead epochs opened (each spans
+    /// `[bound, bound + lookahead)` in simulated time).
+    pub epochs: u64,
+    /// Events pushed by one shard into another's queue (mailbox
+    /// traffic).
+    pub cross_shard_events: u64,
+    /// Cross-shard pushes scheduled *inside* the open epoch window,
+    /// i.e. below the lookahead bound. Verification mode executes them
+    /// correctly regardless (the global merge order is preserved); a
+    /// truly partitioned parallel run would have to block on each one,
+    /// so this counter is the measure of how parallelisable the
+    /// workload is under the current partitioning.
+    pub lookahead_violations: u64,
+    /// FNV-1a fold of every mailbox key `(epoch, src_shard, lane,
+    /// seq)` in merge order. A pure function of (seed, config): two
+    /// runs of the same configuration produce the same digest, however
+    /// the host schedules threads.
+    pub mailbox_digest: u64,
+}
+
+/// FNV-1a offset basis: the digest's initial value.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut hash: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// N per-shard event heaps sharing one global sequence counter and one
+/// pending-set window, so the merged `(time, seq)` order — and every
+/// [`EventId`] — is identical to a single [`EventQueue`] fed the same
+/// pushes in the same order.
+pub struct ShardedQueues<E> {
+    heaps: Vec<BinaryHeap<Entry<E>>>,
+    /// One pending window across all shards: cancellation does not need
+    /// to know (or care) which shard holds the entry.
+    pending: SeqWindow,
+    next_seq: u64,
+    router: Router<E>,
+    /// Shard whose event is currently being dispatched (`None` outside
+    /// dispatch, e.g. scenario seeding before the run).
+    executing: Option<usize>,
+    /// Exclusive upper bound of the open epoch window.
+    epoch_horizon: SimTime,
+    /// Index of the open epoch (0 before the first).
+    epoch: u64,
+    stats: ShardStats,
+}
+
+impl<E> ShardedQueues<E> {
+    /// Create `shards` empty queues routed by `router`. Router outputs
+    /// are clamped into range.
+    pub fn new(shards: usize, router: Router<E>) -> Self {
+        let shards = shards.max(1);
+        ShardedQueues {
+            heaps: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            pending: SeqWindow::default(),
+            next_seq: 0,
+            router,
+            executing: None,
+            epoch_horizon: SimTime::ZERO,
+            epoch: 0,
+            stats: ShardStats {
+                shards,
+                mailbox_digest: FNV_OFFSET,
+                ..ShardStats::default()
+            },
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.heaps.len()
+    }
+
+    /// Schedule `event` at `time`, routed to its home shard. Sequence
+    /// numbers are global: ids and tie-break order match the
+    /// single-queue engine exactly.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventId {
+        let dst = (self.router)(&event).min(self.heaps.len() - 1);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq);
+        if let Some(src) = self.executing {
+            if src != dst {
+                self.stats.cross_shard_events += 1;
+                if time < self.epoch_horizon {
+                    self.stats.lookahead_violations += 1;
+                }
+                // Mailbox key (epoch, src_shard, lane, seq): folded in
+                // merge order, which execution order makes
+                // deterministic.
+                let mut d = self.stats.mailbox_digest;
+                d = fnv_fold(d, self.epoch);
+                d = fnv_fold(d, src as u64);
+                d = fnv_fold(d, dst as u64);
+                d = fnv_fold(d, seq);
+                self.stats.mailbox_digest = d;
+            }
+        }
+        self.heaps[dst].push(Entry { time, seq, event });
+        EventId(seq)
+    }
+
+    /// Cancel a scheduled event. Works identically from any shard —
+    /// including on events still waiting in another shard's queue —
+    /// because the pending set is shared.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(id.0)
+    }
+
+    /// Drop cancelled heads of shard `i`, then report its live head
+    /// `(time, seq)`.
+    fn head(&mut self, i: usize) -> Option<(SimTime, u64)> {
+        while let Some(entry) = self.heaps[i].peek() {
+            if self.pending.contains(entry.seq) {
+                return Some((entry.time, entry.seq));
+            }
+            self.heaps[i].pop();
+        }
+        None
+    }
+
+    /// The shard owning the globally earliest pending event.
+    fn min_shard(&mut self) -> Option<usize> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for i in 0..self.heaps.len() {
+            if let Some((t, s)) = self.head(i) {
+                if best.is_none_or(|(bt, bs, _)| (t, s) < (bt, bs)) {
+                    best = Some((t, s, i));
+                }
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Time of the globally earliest pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let i = self.min_shard()?;
+        self.head(i).map(|(t, _)| t)
+    }
+
+    /// Pop the globally earliest pending event, returning its home
+    /// shard alongside: the merged order equals the single-queue order.
+    pub fn pop(&mut self) -> Option<(usize, SimTime, E)> {
+        let i = self.min_shard()?;
+        let entry = self.heaps[i].pop().expect("min_shard saw a live head");
+        self.pending.remove(entry.seq);
+        Some((i, entry.time, entry.event))
+    }
+
+    /// Number of pending (non-cancelled) events across all shards.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.len() == 0
+    }
+
+    /// Mark the shard whose event is being dispatched (cross-shard
+    /// accounting).
+    pub(crate) fn set_executing(&mut self, shard: Option<usize>) {
+        self.executing = shard;
+    }
+
+    /// Open a new epoch window `[bound, horizon)`.
+    pub(crate) fn open_epoch(&mut self, horizon: SimTime) {
+        self.epoch += 1;
+        self.epoch_horizon = horizon;
+        self.stats.epochs += 1;
+    }
+
+    pub(crate) fn epoch_horizon(&self) -> SimTime {
+        self.epoch_horizon
+    }
+
+    /// Barrier activity and mailbox counters so far.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+}
+
+/// A sharded discrete-event simulation in verification mode: per-shard
+/// queues with conservative-lookahead epoch accounting, dispatching the
+/// exact single-queue trajectory — same events, same order, same
+/// [`EventId`]s, same `processed` count — while measuring the
+/// cross-shard traffic a partitioned parallel run would see.
+///
+/// Mirrors the [`crate::Simulation`] API so the two are drop-in
+/// interchangeable for a driver.
+pub struct ShardedSimulation<M: Model> {
+    model: M,
+    queues: ShardedQueues<M::Event>,
+    now: SimTime,
+    processed: u64,
+    event_limit: u64,
+    lookahead: SimDuration,
+}
+
+impl<M: Model> ShardedSimulation<M> {
+    /// Create a sharded simulation at time zero.
+    ///
+    /// `lookahead` must be positive: it is the hard lower bound on
+    /// cross-shard causality (the minimum classical latency between any
+    /// two shards), and a zero bound would degenerate every event into
+    /// its own epoch.
+    pub fn new(model: M, shards: usize, lookahead: SimDuration, router: Router<M::Event>) -> Self {
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "shard lookahead must be positive (zero-latency hops must share a shard)"
+        );
+        ShardedSimulation {
+            model,
+            queues: ShardedQueues::new(shards, router),
+            now: SimTime::ZERO,
+            processed: 0,
+            event_limit: u64::MAX,
+            lookahead,
+        }
+    }
+
+    /// The current simulated time (time of the last dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Borrow the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutably borrow the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consume the simulation and return the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.queues.shards()
+    }
+
+    /// The conservative lookahead bound in force.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Epoch-barrier and mailbox counters so far.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.queues.stats()
+    }
+
+    /// Seed an event before (or between) runs.
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) -> EventId {
+        self.queues.push(at.max(self.now), event)
+    }
+
+    /// Seed an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: M::Event) -> EventId {
+        self.queues.push(self.now + delay, event)
+    }
+
+    /// Number of pending events across all shards.
+    pub fn pending(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Cap the total number of dispatched events (see
+    /// [`crate::Simulation::set_event_limit`]).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Dispatch the single earliest event across all shards. Returns
+    /// `None` when an event was dispatched and the run may continue, or
+    /// the terminal [`RunOutcome`] otherwise — the same contract as
+    /// [`crate::Simulation::step`].
+    pub fn step(&mut self) -> Option<RunOutcome> {
+        if self.processed >= self.event_limit {
+            return Some(RunOutcome::EventLimit);
+        }
+        let Some(next) = self.queues.peek_time() else {
+            return Some(RunOutcome::QueueEmpty);
+        };
+        if next >= self.queues.epoch_horizon() {
+            self.queues.open_epoch(next.saturating_add(self.lookahead));
+        }
+        let (shard, time, event) = self.queues.pop().expect("peeked event vanished");
+        debug_assert!(time >= self.now, "shard queues violated time order");
+        self.now = time;
+        self.processed += 1;
+        self.queues.set_executing(Some(shard));
+        let mut stop = false;
+        let mut ctx = Context::sharded(&mut self.queues, self.now, &mut stop);
+        self.model.handle(time, event, &mut ctx);
+        self.queues.set_executing(None);
+        if stop {
+            Some(RunOutcome::Stopped)
+        } else {
+            None
+        }
+    }
+
+    /// Run until the queues drain, the model stops, or `horizon` is
+    /// reached. Events scheduled exactly at the horizon are dispatched
+    /// — identical semantics to [`crate::Simulation::run_until`].
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            if self.processed >= self.event_limit {
+                return RunOutcome::EventLimit;
+            }
+            let Some(next) = self.queues.peek_time() else {
+                return RunOutcome::QueueEmpty;
+            };
+            if next > horizon {
+                self.now = horizon;
+                return RunOutcome::HorizonReached;
+            }
+            match self.step() {
+                None => {}
+                Some(RunOutcome::Stopped) => return RunOutcome::Stopped,
+                Some(outcome) => return outcome,
+            }
+        }
+    }
+
+    /// Run until the queues drain or the model stops.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partitioned execution: the contract for genuinely parallel shards.
+// ---------------------------------------------------------------------
+
+/// A cross-shard message waiting for the epoch barrier.
+#[derive(Debug)]
+pub struct OutMsg<E> {
+    /// Destination shard.
+    pub dst: usize,
+    /// Absolute arrival time (≥ the epoch horizon, by the lookahead
+    /// contract).
+    pub at: SimTime,
+    /// The event itself.
+    pub event: E,
+}
+
+/// Scheduling handle for one shard of a partitioned run. Local
+/// scheduling is unrestricted; cross-shard sends must respect the
+/// lookahead bound and travel through the epoch mailbox.
+pub struct ShardCtx<'a, E> {
+    now: SimTime,
+    shard: usize,
+    n_shards: usize,
+    lookahead: SimDuration,
+    local: &'a mut EventQueue<E>,
+    outbox: &'a mut Vec<OutMsg<E>>,
+}
+
+impl<'a, E> ShardCtx<'a, E> {
+    /// The current simulated time on this shard.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This shard's index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Total number of shards in the run.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Schedule a local event `delay` after now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.local.push(self.now + delay, event)
+    }
+
+    /// Schedule a local event at an absolute time (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        self.local.push(at.max(self.now), event)
+    }
+
+    /// Cancel a locally scheduled event. Cross-shard messages cannot be
+    /// cancelled once sent — they are owned by the mailbox until the
+    /// barrier merges them.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.local.cancel(id)
+    }
+
+    /// Send an event to `dst` (possibly this shard), arriving `delay`
+    /// after now.
+    ///
+    /// # Panics
+    ///
+    /// If `dst` is out of range, or the send is cross-shard with
+    /// `delay` below the lookahead bound — the conservative barrier's
+    /// safety contract. A model that needs faster-than-lookahead
+    /// influence must place both parties on the same shard.
+    pub fn send(&mut self, dst: usize, delay: SimDuration, event: E) {
+        assert!(dst < self.n_shards, "send to unknown shard {dst}");
+        if dst == self.shard {
+            self.local.push(self.now + delay, event);
+        } else {
+            assert!(
+                delay >= self.lookahead,
+                "cross-shard send below the lookahead bound: {} < {} ps",
+                delay.as_ps(),
+                self.lookahead.as_ps()
+            );
+            self.outbox.push(OutMsg {
+                dst,
+                at: self.now + delay,
+                event,
+            });
+        }
+    }
+}
+
+/// Counters for a partitioned run (serial or threaded — identical for
+/// the same inputs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Epoch barriers crossed.
+    pub epochs: u64,
+    /// Events dispatched across all shards.
+    pub processed: u64,
+    /// Cross-shard messages merged at barriers.
+    pub cross_shard_messages: u64,
+    /// FNV-1a fold of the merge keys `(at, src, outbox index)` in merge
+    /// order: pins the merge to a pure function of (seed, config).
+    pub mailbox_digest: u64,
+}
+
+/// One epoch's worth of per-shard work: drain events strictly below
+/// `horizon` (and ≤ `until`), collecting cross-shard sends. Public so
+/// the threaded executor in `qn_exec` runs byte-for-byte the same
+/// per-shard code as [`run_partitioned_serial`] — bit-identity between
+/// the two is then a property of the barrier, not of luck.
+pub fn drain_epoch<S, E>(
+    shard: usize,
+    n_shards: usize,
+    lookahead: SimDuration,
+    state: &mut S,
+    queue: &mut EventQueue<E>,
+    horizon: SimTime,
+    until: SimTime,
+    handler: &(impl Fn(usize, &mut S, SimTime, E, &mut ShardCtx<'_, E>) + ?Sized),
+) -> (Vec<OutMsg<E>>, u64) {
+    let mut outbox = Vec::new();
+    let mut processed = 0;
+    while let Some(t) = queue.peek_time() {
+        if t >= horizon || t > until {
+            break;
+        }
+        let (time, event) = queue.pop().expect("peeked event vanished");
+        processed += 1;
+        let mut ctx = ShardCtx {
+            now: time,
+            shard,
+            n_shards,
+            lookahead,
+            local: queue,
+            outbox: &mut outbox,
+        };
+        handler(shard, state, time, event, &mut ctx);
+    }
+    (outbox, processed)
+}
+
+/// Merge one epoch's outboxes into the destination queues in the
+/// deterministic mailbox order: sorted by `(arrival time, src shard,
+/// outbox index)`, so queue tie-break sequence numbers — and therefore
+/// the next epoch's dispatch order — are a pure function of the run's
+/// inputs, never of thread timing.
+pub fn merge_mailboxes<E>(
+    outboxes: Vec<Vec<OutMsg<E>>>,
+    queues: &mut [EventQueue<E>],
+    stats: &mut PartitionStats,
+) {
+    let mut msgs: Vec<(SimTime, usize, usize, usize, E)> = Vec::new();
+    for (src, outbox) in outboxes.into_iter().enumerate() {
+        for (idx, m) in outbox.into_iter().enumerate() {
+            msgs.push((m.at, src, idx, m.dst, m.event));
+        }
+    }
+    msgs.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+    for (at, src, idx, dst, event) in msgs {
+        stats.cross_shard_messages += 1;
+        let mut d = stats.mailbox_digest;
+        d = fnv_fold(d, at.as_ps());
+        d = fnv_fold(d, src as u64);
+        d = fnv_fold(d, idx as u64);
+        stats.mailbox_digest = d;
+        queues[dst].push(at, event);
+    }
+}
+
+/// Run a partitioned model serially: the bit-exact reference for the
+/// threaded executor in `qn_exec`.
+///
+/// Each shard owns its state and queue; epochs advance every shard to
+/// `min(all next-event times) + lookahead` (exclusive), then merge
+/// cross-shard mailboxes at the barrier. Events exactly at an epoch
+/// horizon wait for the next epoch. Events up to and including `until`
+/// are dispatched.
+///
+/// # Panics
+///
+/// If `lookahead` is zero (the epoch window would be empty).
+pub fn run_partitioned_serial<S, E>(
+    mut shards: Vec<S>,
+    initial: Vec<(usize, SimTime, E)>,
+    lookahead: SimDuration,
+    until: SimTime,
+    handler: impl Fn(usize, &mut S, SimTime, E, &mut ShardCtx<'_, E>),
+) -> (Vec<S>, PartitionStats) {
+    assert!(
+        lookahead > SimDuration::ZERO,
+        "partitioned runs need a positive lookahead"
+    );
+    let n = shards.len();
+    let mut queues: Vec<EventQueue<E>> = (0..n).map(|_| EventQueue::new()).collect();
+    for (shard, at, event) in initial {
+        queues[shard.min(n - 1)].push(at, event);
+    }
+    let mut stats = PartitionStats {
+        mailbox_digest: FNV_OFFSET,
+        ..PartitionStats::default()
+    };
+    loop {
+        let bound = queues.iter_mut().filter_map(|q| q.peek_time()).min();
+        let Some(bound) = bound else {
+            break;
+        };
+        if bound > until {
+            break;
+        }
+        let horizon = bound.saturating_add(lookahead);
+        stats.epochs += 1;
+        let mut outboxes = Vec::with_capacity(n);
+        for (i, (state, queue)) in shards.iter_mut().zip(queues.iter_mut()).enumerate() {
+            let (outbox, processed) =
+                drain_epoch(i, n, lookahead, state, queue, horizon, until, &handler);
+            stats.processed += processed;
+            outboxes.push(outbox);
+        }
+        merge_mailboxes(outboxes, &mut queues, &mut stats);
+    }
+    (shards, stats)
+}
+
+/// Parse the `QNP_SHARDS` knob: `None` when unset, the shard count when
+/// set to a positive integer.
+///
+/// # Panics
+///
+/// When set to zero or garbage — fail fast with a clear message, the
+/// same convention as `FaultPlan::validate` / `ClassicalFaults::validate`
+/// (a run that silently ignored the knob would masquerade as a sharded
+/// one).
+pub fn shards_from_env() -> Option<usize> {
+    let raw = std::env::var("QNP_SHARDS").ok()?;
+    match raw.parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => panic!(
+            "invalid QNP_SHARDS={raw:?}: must be a positive integer \
+             (unset it to run the single-queue engine)"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ps: u64) -> SimTime {
+        SimTime::from_ps(ps)
+    }
+
+    fn la(ps: u64) -> SimDuration {
+        SimDuration::from_ps(ps)
+    }
+
+    /// Router: events are (shard, payload) pairs.
+    fn pair_router(shards: usize) -> Router<(usize, u64)> {
+        Box::new(move |e: &(usize, u64)| e.0 % shards)
+    }
+
+    #[test]
+    fn sharded_queues_merge_in_global_order() {
+        let mut q = ShardedQueues::new(3, pair_router(3));
+        // Same time, different shards: global seq breaks the tie.
+        q.push(t(10), (2, 0));
+        q.push(t(10), (0, 1));
+        q.push(t(5), (1, 2));
+        q.push(t(10), (1, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e.1)).collect();
+        assert_eq!(order, vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn cross_shard_cancel_of_unmerged_event() {
+        let mut q = ShardedQueues::new(4, pair_router(4));
+        let far = q.push(t(100), (3, 7));
+        q.push(t(1), (0, 0));
+        // Cancel an event sitting in shard 3's heap "from" shard 0:
+        // the shared pending window needs no shard lookup.
+        assert!(q.cancel(far));
+        assert!(!q.cancel(far), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(s, _, e)| (s, e.1)), Some((0, 0)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn event_ids_match_single_queue_allocation() {
+        let mut sharded = ShardedQueues::new(2, pair_router(2));
+        let mut single: EventQueue<(usize, u64)> = EventQueue::new();
+        for i in 0..20u64 {
+            let a = sharded.push(t(i * 3 % 7), (i as usize, i));
+            let b = single.push(t(i * 3 % 7), (i as usize, i));
+            assert_eq!(a, b, "id allocation must match the single queue");
+        }
+        // And the merged pop order matches too.
+        loop {
+            let a = sharded.pop().map(|(_, t, e)| (t, e));
+            let b = single.pop();
+            assert_eq!(a, b);
+            if b.is_none() {
+                break;
+            }
+        }
+    }
+
+    // -- ShardedSimulation verification-mode semantics ----------------
+
+    struct Relay {
+        n_nodes: usize,
+        hops_left: u32,
+        log: Vec<(SimTime, usize)>,
+    }
+
+    /// (node, payload): each hop forwards to the next node after 10 ps.
+    impl Model for Relay {
+        type Event = (usize, u32);
+        fn handle(
+            &mut self,
+            now: SimTime,
+            (node, left): (usize, u32),
+            ctx: &mut Context<'_, (usize, u32)>,
+        ) {
+            self.log.push((now, node));
+            self.hops_left = left;
+            if left > 0 {
+                ctx.schedule_in(la(10), ((node + 1) % self.n_nodes, left - 1));
+            }
+        }
+    }
+
+    fn relay_router(shards: usize, n_nodes: usize) -> Router<(usize, u32)> {
+        Box::new(move |e: &(usize, u32)| e.0 * shards / n_nodes)
+    }
+
+    #[test]
+    fn sharded_simulation_matches_single_queue_engine() {
+        let mk = || Relay {
+            n_nodes: 6,
+            hops_left: 0,
+            log: vec![],
+        };
+        let mut single = crate::Simulation::new(mk());
+        single.schedule_at(t(0), (0, 40));
+        single.schedule_at(t(3), (4, 11));
+        assert_eq!(single.run(), RunOutcome::QueueEmpty);
+
+        for shards in [1, 2, 3, 6] {
+            let mut sharded = ShardedSimulation::new(mk(), shards, la(10), relay_router(shards, 6));
+            sharded.schedule_at(t(0), (0, 40));
+            sharded.schedule_at(t(3), (4, 11));
+            assert_eq!(sharded.run(), RunOutcome::QueueEmpty);
+            assert_eq!(sharded.model().log, single.model().log, "{shards} shards");
+            assert_eq!(sharded.processed(), single.processed());
+            assert_eq!(sharded.now(), single.now());
+        }
+    }
+
+    #[test]
+    fn mailbox_digest_is_reproducible() {
+        let run = || {
+            let mut sim = ShardedSimulation::new(
+                Relay {
+                    n_nodes: 4,
+                    hops_left: 0,
+                    log: vec![],
+                },
+                2,
+                la(10),
+                relay_router(2, 4),
+            );
+            sim.schedule_at(t(0), (0, 25));
+            sim.run();
+            sim.shard_stats()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "shard stats are a pure function of the inputs");
+        assert!(a.cross_shard_events > 0, "the relay crosses shards");
+        assert!(a.epochs > 0);
+    }
+
+    #[test]
+    fn lookahead_violations_are_counted_not_fatal() {
+        // Hops of 10 ps with a claimed lookahead of 1000 ps: every
+        // cross-shard hop lands inside the open epoch.
+        let mut sim = ShardedSimulation::new(
+            Relay {
+                n_nodes: 4,
+                hops_left: 0,
+                log: vec![],
+            },
+            2,
+            la(1000),
+            relay_router(2, 4),
+        );
+        sim.schedule_at(t(0), (1, 12));
+        assert_eq!(sim.run(), RunOutcome::QueueEmpty);
+        let stats = sim.shard_stats();
+        assert!(stats.lookahead_violations > 0);
+        assert_eq!(sim.processed(), 13);
+    }
+
+    #[test]
+    fn sharded_step_honours_stop_and_event_limit() {
+        struct Stopper;
+        impl Model for Stopper {
+            type Event = (usize, bool);
+            fn handle(
+                &mut self,
+                _now: SimTime,
+                (_, stop): (usize, bool),
+                ctx: &mut Context<'_, (usize, bool)>,
+            ) {
+                if stop {
+                    ctx.stop();
+                }
+            }
+        }
+        let router: Router<(usize, bool)> = Box::new(|e| e.0);
+        let mut sim = ShardedSimulation::new(Stopper, 2, la(5), router);
+        sim.schedule_at(t(1), (0, false));
+        sim.schedule_at(t(2), (1, true));
+        assert_eq!(sim.step(), None);
+        assert_eq!(sim.step(), Some(RunOutcome::Stopped));
+        assert_eq!(sim.step(), Some(RunOutcome::QueueEmpty));
+        sim.set_event_limit(2);
+        sim.schedule_at(t(3), (0, false));
+        assert_eq!(sim.step(), Some(RunOutcome::EventLimit));
+    }
+
+    // -- partitioned serial reference ---------------------------------
+
+    #[derive(Clone, PartialEq, Eq, Debug, Default)]
+    struct Counter {
+        seen: Vec<(u64, u64)>,
+    }
+
+    #[test]
+    fn partitioned_serial_ping_pong() {
+        // Two shards ping-ponging with delay exactly the lookahead.
+        let (shards, stats) = run_partitioned_serial(
+            vec![Counter::default(), Counter::default()],
+            vec![(0, t(0), 8u64)],
+            la(10),
+            SimTime::MAX,
+            |shard, state: &mut Counter, now, left, ctx| {
+                state.seen.push((now.as_ps(), left));
+                if left > 0 {
+                    ctx.send(1 - shard, la(10), left - 1);
+                }
+            },
+        );
+        assert_eq!(stats.processed, 9);
+        assert_eq!(stats.cross_shard_messages, 8);
+        assert_eq!(
+            shards[0].seen,
+            vec![(0, 8), (20, 6), (40, 4), (60, 2), (80, 0)]
+        );
+        assert_eq!(shards[1].seen, vec![(10, 7), (30, 5), (50, 3), (70, 1)]);
+    }
+
+    #[test]
+    fn event_exactly_at_epoch_horizon_waits_for_next_epoch() {
+        // One shard, events at 0 and exactly at 0 + lookahead: the
+        // second event must open a second epoch, not ride the first.
+        let (_, stats) = run_partitioned_serial(
+            vec![Counter::default()],
+            vec![(0, t(0), 1u64), (0, t(10), 2u64)],
+            la(10),
+            SimTime::MAX,
+            |_, state: &mut Counter, now, v, _ctx| {
+                state.seen.push((now.as_ps(), v));
+            },
+        );
+        assert_eq!(stats.epochs, 2, "the barrier event starts its own epoch");
+        assert_eq!(stats.processed, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the lookahead bound")]
+    fn cross_shard_send_below_lookahead_panics() {
+        run_partitioned_serial(
+            vec![Counter::default(), Counter::default()],
+            vec![(0, t(0), 1u64)],
+            la(10),
+            SimTime::MAX,
+            |_, _state: &mut Counter, _now, v, ctx| {
+                ctx.send(1, la(9), v);
+            },
+        );
+    }
+
+    #[test]
+    fn zero_delay_local_send_is_fine() {
+        // Same-shard sends are exempt from the lookahead bound: that is
+        // the "zero-latency hops must share a shard" rule.
+        let (shards, _) = run_partitioned_serial(
+            vec![Counter::default()],
+            vec![(0, t(0), 2u64)],
+            la(10),
+            SimTime::MAX,
+            |shard, state: &mut Counter, now, v, ctx| {
+                state.seen.push((now.as_ps(), v));
+                if v > 0 {
+                    ctx.send(shard, SimDuration::ZERO, v - 1);
+                }
+            },
+        );
+        assert_eq!(shards[0].seen, vec![(0, 2), (0, 1), (0, 0)]);
+    }
+
+    #[test]
+    fn shards_env_parses() {
+        // Serialised by env-var collisions with nothing else: this test
+        // file owns QNP_SHARDS.
+        std::env::remove_var("QNP_SHARDS");
+        assert_eq!(shards_from_env(), None);
+        std::env::set_var("QNP_SHARDS", "4");
+        assert_eq!(shards_from_env(), Some(4));
+        std::env::remove_var("QNP_SHARDS");
+    }
+}
